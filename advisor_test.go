@@ -1,0 +1,84 @@
+package graphgen
+
+import (
+	"testing"
+
+	"graphgen/internal/datagen"
+)
+
+func denseGraph(t *testing.T) *Graph {
+	t.Helper()
+	// Few huge virtual nodes: expansion would be ~40x.
+	return WrapCore(datagen.Condensed(datagen.CondensedConfig{
+		Seed: 1, RealNodes: 400, VirtualNodes: 6, MeanSize: 80, StdDev: 10,
+	}))
+}
+
+func sparseGraph(t *testing.T) *Graph {
+	t.Helper()
+	// Tiny virtual nodes: expansion barely grows the graph.
+	return WrapCore(datagen.Condensed(datagen.CondensedConfig{
+		Seed: 2, RealNodes: 400, VirtualNodes: 150, MeanSize: 2, StdDev: 0.1,
+	}))
+}
+
+func TestAdviseExpandWhenCheap(t *testing.T) {
+	g := sparseGraph(t)
+	a := g.Advise(AdviseOptions{Workload: WorkloadFullScans})
+	if a.Representation != EXP {
+		t.Fatalf("advice = %v (%s), want EXP", a.Representation, a.Reason)
+	}
+	if a.ExpansionRatio <= 0 {
+		t.Fatal("missing expansion ratio")
+	}
+}
+
+func TestAdvisePointQueries(t *testing.T) {
+	g := denseGraph(t)
+	a := g.Advise(AdviseOptions{Workload: WorkloadPointQueries})
+	if a.Representation != CDUP {
+		t.Fatalf("advice = %v (%s), want CDUP", a.Representation, a.Reason)
+	}
+}
+
+func TestAdviseFullScans(t *testing.T) {
+	g := denseGraph(t)
+	a := g.Advise(AdviseOptions{Workload: WorkloadFullScans})
+	if a.Representation != BITMAP {
+		t.Fatalf("advice = %v (%s), want BITMAP", a.Representation, a.Reason)
+	}
+	if a.ExpansionRatio < 2 {
+		t.Fatalf("expansion ratio = %.2f, expected a dense graph", a.ExpansionRatio)
+	}
+}
+
+func TestAdviseRepeatedAnalysis(t *testing.T) {
+	g := denseGraph(t)
+	a := g.Advise(AdviseOptions{Workload: WorkloadRepeatedAnalysis})
+	if a.Representation != DEDUP1 && a.Representation != DEDUP2 {
+		t.Fatalf("advice = %v (%s), want DEDUP-1 or DEDUP-2", a.Representation, a.Reason)
+	}
+	if a.Reason == "" {
+		t.Fatal("missing reason")
+	}
+}
+
+func TestAdviseAlreadyExpanded(t *testing.T) {
+	g := denseGraph(t)
+	exp, err := g.As(EXP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := exp.Advise(AdviseOptions{Workload: WorkloadPointQueries})
+	if a.Representation != EXP {
+		t.Fatalf("advice = %v, want EXP for an expanded graph", a.Representation)
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	for _, w := range []Workload{WorkloadPointQueries, WorkloadFullScans, WorkloadRepeatedAnalysis} {
+		if w.String() == "unknown" {
+			t.Fatalf("missing String for %d", w)
+		}
+	}
+}

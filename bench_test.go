@@ -1,0 +1,458 @@
+package graphgen
+
+// Benchmark harness: one benchmark family per table/figure of the paper's
+// evaluation (Section 6). The heavyweight paper-style rows are produced by
+// cmd/experiments; these testing.B benchmarks time the same operations on
+// quick-scale datasets and report the size metrics the tables track, so
+// `go test -bench=. -benchmem` regenerates the comparisons.
+
+import (
+	"sync"
+	"testing"
+
+	"graphgen/internal/algo"
+	"graphgen/internal/bsp"
+	"graphgen/internal/core"
+	"graphgen/internal/datalog"
+	"graphgen/internal/dedup"
+	"graphgen/internal/experiments"
+	"graphgen/internal/extract"
+	"graphgen/internal/vertexcentric"
+	"graphgen/internal/vminer"
+)
+
+var (
+	benchOnce   sync.Once
+	benchGraphs map[string]*core.Graph // small-dataset C-DUP graphs
+	benchNames  []string
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchNames, benchGraphs = experimentsSmall()
+	})
+}
+
+func experimentsSmall() ([]string, map[string]*core.Graph) {
+	s := experiments.Scale{Quick: true}
+	dbs, condensed := experiments.SmallDatasets(s)
+	graphs := make(map[string]*core.Graph)
+	for _, d := range dbs {
+		g, _, err := experiments.ExtractCondensed(d)
+		if err != nil {
+			panic(err)
+		}
+		graphs[d.Name] = g
+	}
+	for name, g := range condensed {
+		graphs[name] = g
+	}
+	return []string{"DBLP", "IMDB", "Synthetic_1", "Synthetic_2"}, graphs
+}
+
+// BenchmarkTable1_Extraction times condensed vs full extraction for the
+// four Table 1 workloads and reports the resulting edge counts.
+func BenchmarkTable1_Extraction(b *testing.B) {
+	for _, d := range experiments.Table1Datasets(experiments.Scale{Quick: true}) {
+		prog, err := datalog.Parse(d.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(d.Name+"/Condensed", func(b *testing.B) {
+			var edges int64
+			for i := 0; i < b.N; i++ {
+				opts := extract.DefaultOptions()
+				opts.ForceCondensed = true
+				opts.SkipPreprocess = true
+				res, err := extract.Extract(d.DB, prog, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = res.Graph.RepEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+		b.Run(d.Name+"/FullGraph", func(b *testing.B) {
+			var edges int64
+			for i := 0; i < b.N; i++ {
+				opts := extract.DefaultOptions()
+				opts.ForceExpand = true
+				res, err := extract.Extract(d.DB, prog, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = res.Graph.RepEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkTable2_Shapes reports the Table 2 dataset shape metrics.
+func BenchmarkTable2_Shapes(b *testing.B) {
+	benchSetup(b)
+	for _, name := range benchNames {
+		g := benchGraphs[name]
+		b.Run(name, func(b *testing.B) {
+			var edges int64
+			for i := 0; i < b.N; i++ {
+				edges = g.LogicalEdges()
+			}
+			b.ReportMetric(float64(g.NumRealNodes()), "realnodes")
+			b.ReportMetric(float64(g.NumVirtualNodes()), "virtnodes")
+			b.ReportMetric(float64(edges), "expedges")
+		})
+	}
+}
+
+type repBuild struct {
+	name  string
+	build func(*core.Graph) (*core.Graph, error)
+}
+
+func benchRepBuilders() []repBuild {
+	o := dedup.Options{Seed: 7}
+	return []repBuild{
+		{"C-DUP", func(g *core.Graph) (*core.Graph, error) { return g.Clone(), nil }},
+		{"DEDUP-1", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Dedup1GreedyVirtualFirst(g, o)
+			return out, err
+		}},
+		{"DEDUP-2", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Dedup2Greedy(g, o)
+			return out, err
+		}},
+		{"BITMAP-1", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Bitmap1(g)
+			return out, err
+		}},
+		{"BITMAP-2", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Bitmap2(g, o)
+			return out, err
+		}},
+		{"EXP", func(g *core.Graph) (*core.Graph, error) { return g.Expand(0) }},
+		{"VMiner", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := vminer.Mine(g, vminer.Options{})
+			return out, err
+		}},
+	}
+}
+
+// BenchmarkFigure10_Compression times building each representation and
+// reports its node/edge/memory sizes (Figure 10's bars).
+func BenchmarkFigure10_Compression(b *testing.B) {
+	benchSetup(b)
+	for _, name := range benchNames {
+		g := benchGraphs[name]
+		for _, rb := range benchRepBuilders() {
+			b.Run(name+"/"+rb.name, func(b *testing.B) {
+				var out *core.Graph
+				for i := 0; i < b.N; i++ {
+					var err error
+					out, err = rb.build(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(out.TotalNodes()), "nodes")
+				b.ReportMetric(float64(out.RepEdges()), "edges")
+				b.ReportMetric(float64(out.MemBytes()), "membytes")
+			})
+		}
+	}
+}
+
+// builtReps caches converted representations of the benchmark graphs.
+var (
+	builtOnce sync.Once
+	builtReps map[string]map[string]*core.Graph
+)
+
+func benchReps(b *testing.B) map[string]map[string]*core.Graph {
+	b.Helper()
+	benchSetup(b)
+	builtOnce.Do(func() {
+		builtReps = make(map[string]map[string]*core.Graph)
+		for _, name := range benchNames {
+			g := benchGraphs[name]
+			reps := map[string]*core.Graph{"C-DUP": g}
+			for _, rb := range benchRepBuilders()[1:6] { // skip clone & VMiner
+				if out, err := rb.build(g); err == nil {
+					reps[rb.name] = out
+				}
+			}
+			builtReps[name] = reps
+		}
+	})
+	return builtReps
+}
+
+// BenchmarkFigure11_Algorithms times Degree (vertex-centric), BFS, and
+// PageRank per representation (Figure 11's bars).
+func BenchmarkFigure11_Algorithms(b *testing.B) {
+	reps := benchReps(b)
+	for _, name := range []string{"DBLP", "Synthetic_1"} {
+		for rep, g := range reps[name] {
+			b.Run(name+"/"+rep+"/Degree", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vertexcentric.Run(g, vertexcentric.DegreeProgram(), vertexcentric.Options{Workers: 2})
+				}
+			})
+			b.Run(name+"/"+rep+"/BFS", func(b *testing.B) {
+				src := g.RealID(0)
+				for i := 0; i < b.N; i++ {
+					algo.BFS(g, src)
+				}
+			})
+			b.Run(name+"/"+rep+"/PageRank", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vertexcentric.Run(g, vertexcentric.PageRankProgram(g, 5, 0.85), vertexcentric.Options{Workers: 2})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12a_Dedup times every deduplication algorithm (Figure
+// 12a's log-scale bars) and reports the output edge count.
+func BenchmarkFigure12a_Dedup(b *testing.B) {
+	benchSetup(b)
+	type namedAlgo struct {
+		name string
+		run  func(*core.Graph) (*core.Graph, error)
+	}
+	o := dedup.Options{Ordering: dedup.OrderRandom, Seed: 7}
+	algos := []namedAlgo{
+		{"BITMAP-1", func(g *core.Graph) (*core.Graph, error) { out, _, err := dedup.Bitmap1(g); return out, err }},
+		{"BITMAP-2", func(g *core.Graph) (*core.Graph, error) { out, _, err := dedup.Bitmap2(g, o); return out, err }},
+		{"NaiveVNF", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Dedup1NaiveVirtualFirst(g, o)
+			return out, err
+		}},
+		{"NaiveRNF", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Dedup1NaiveRealFirst(g, o)
+			return out, err
+		}},
+		{"GreedyRNF", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Dedup1GreedyRealFirst(g, o)
+			return out, err
+		}},
+		{"GreedyVNF", func(g *core.Graph) (*core.Graph, error) {
+			out, _, err := dedup.Dedup1GreedyVirtualFirst(g, o)
+			return out, err
+		}},
+		{"DEDUP2", func(g *core.Graph) (*core.Graph, error) { out, _, err := dedup.Dedup2Greedy(g, o); return out, err }},
+	}
+	for _, name := range benchNames {
+		g := benchGraphs[name]
+		for _, a := range algos {
+			b.Run(name+"/"+a.name, func(b *testing.B) {
+				var out *core.Graph
+				for i := 0; i < b.N; i++ {
+					var err error
+					out, err = a.run(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(out.RepEdges()), "edges")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12b_Ordering times Greedy Virtual Nodes First under the
+// three processing orders (Figure 12b).
+func BenchmarkFigure12b_Ordering(b *testing.B) {
+	benchSetup(b)
+	g := benchGraphs["Synthetic_1"]
+	for _, ord := range []dedup.Ordering{dedup.OrderRandom, dedup.OrderSizeAsc, dedup.OrderSizeDesc} {
+		b.Run(ord.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dedup.Dedup1GreedyVirtualFirst(g, dedup.Options{Ordering: ord, Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3_Large times Degree/PageRank/BFS on C-DUP, BITMAP, and EXP
+// for the large datasets (Table 3's columns).
+func BenchmarkTable3_Large(b *testing.B) {
+	for _, d := range experiments.LargeDatasets(experiments.Scale{Quick: true}) {
+		prog, err := datalog.Parse(d.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := extract.DefaultOptions()
+		opts.ForceCondensed = true
+		opts.SkipPreprocess = true
+		res, err := extract.Extract(d.DB, prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cdup := res.Graph
+		reps := map[string]*core.Graph{"C-DUP": cdup}
+		if bm, _, err := dedup.Bitmap2(cdup, dedup.Options{Seed: 3}); err == nil {
+			reps["BITMAP"] = bm
+		}
+		if exp, err := cdup.Expand(d.ExpBudget); err == nil {
+			reps["EXP"] = exp
+		}
+		for rep, g := range reps {
+			b.Run(d.Name+"/"+rep+"/Degree", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					algo.Degrees(g)
+				}
+				b.ReportMetric(float64(g.MemBytes()), "membytes")
+			})
+			b.Run(d.Name+"/"+rep+"/PageRank", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					algo.PageRank(g, 3, 0.85)
+				}
+			})
+			b.Run(d.Name+"/"+rep+"/BFS", func(b *testing.B) {
+				src := g.RealID(0)
+				for i := 0; i < b.N; i++ {
+					algo.BFS(g, src)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure13_Micro times the Graph API microbenchmarks per
+// representation (Figure 13).
+func BenchmarkFigure13_Micro(b *testing.B) {
+	reps := benchReps(b)
+	for _, name := range benchNames {
+		for rep, g := range reps[name] {
+			ids := make([]int64, 0, 64)
+			g.ForEachReal(func(r int32) bool {
+				ids = append(ids, g.RealID(r))
+				return len(ids) < 64
+			})
+			b.Run(name+"/"+rep+"/GetNeighbors", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					id := ids[i%len(ids)]
+					r, _ := g.RealIndex(id)
+					g.ForNeighbors(r, func(int32) bool { return true })
+				}
+			})
+			b.Run(name+"/"+rep+"/ExistsEdge", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g.ExistsEdge(ids[i%len(ids)], ids[(i+1)%len(ids)])
+				}
+			})
+			b.Run(name+"/"+rep+"/AddDeleteEdge", func(b *testing.B) {
+				work := g.Clone()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					u, v := ids[i%len(ids)], ids[(i+7)%len(ids)]
+					if work.ExistsEdge(u, v) {
+						continue
+					}
+					if err := work.AddEdge(u, v); err != nil {
+						b.Fatal(err)
+					}
+					if err := work.DeleteEdge(u, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4_BSP times the Giraph-style runs per representation and
+// reports the message counts (Table 4).
+func BenchmarkTable4_BSP(b *testing.B) {
+	reps := benchReps(b)
+	for _, name := range []string{"IMDB", "Synthetic_2"} {
+		for _, rep := range []string{"EXP", "DEDUP-1", "BITMAP-2"} {
+			g, ok := reps[name][rep]
+			if !ok {
+				continue
+			}
+			b.Run(name+"/"+rep+"/Degree", func(b *testing.B) {
+				var msgs int64
+				for i := 0; i < b.N; i++ {
+					res, err := bsp.Degree(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = res.Messages
+				}
+				b.ReportMetric(float64(msgs), "messages")
+			})
+			b.Run(name+"/"+rep+"/ConComp", func(b *testing.B) {
+				var msgs int64
+				for i := 0; i < b.N; i++ {
+					res, err := bsp.Components(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = res.Messages
+				}
+				b.ReportMetric(float64(msgs), "messages")
+			})
+			b.Run(name+"/"+rep+"/PageRank", func(b *testing.B) {
+				var msgs int64
+				for i := 0; i < b.N; i++ {
+					res, err := bsp.PageRank(g, 3, 0.85)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = res.Messages
+				}
+				b.ReportMetric(float64(msgs), "messages")
+			})
+		}
+	}
+}
+
+// BenchmarkTable5_Shapes reports the per-representation sizes of the BSP
+// datasets (Table 5's rows) while timing the size computation.
+func BenchmarkTable5_Shapes(b *testing.B) {
+	reps := benchReps(b)
+	for _, name := range []string{"IMDB", "Synthetic_2"} {
+		for rep, g := range reps[name] {
+			b.Run(name+"/"+rep, func(b *testing.B) {
+				var edges int64
+				for i := 0; i < b.N; i++ {
+					edges = g.RepEdges()
+				}
+				b.ReportMetric(float64(g.TotalNodes()), "nodes")
+				b.ReportMetric(float64(edges), "edges")
+			})
+		}
+	}
+}
+
+// BenchmarkTable6_Selectivity times the planner's selectivity analysis
+// (catalog distinct counts) for the Table 6 datasets.
+func BenchmarkTable6_Selectivity(b *testing.B) {
+	for _, d := range experiments.LargeDatasets(experiments.Scale{Quick: true}) {
+		b.Run(d.Name, func(b *testing.B) {
+			prog, err := datalog.Parse(d.Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				chain, err := datalog.AnalyzeChain(prog.Edges[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, step := range chain.Steps {
+					t, err := d.DB.Table(step.Atom.Pred)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = t.NumRows()
+				}
+			}
+		})
+	}
+}

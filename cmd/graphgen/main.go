@@ -1,0 +1,224 @@
+// Command graphgen runs a graph-extraction query against one of the built-in
+// generated databases (or demonstrates the planner with -validate), prints
+// extraction statistics, optionally converts the representation, runs an
+// analysis, and serializes the result.
+//
+// Usage examples:
+//
+//	graphgen -dataset dblp -query-file coauthors.dl -analyze pagerank
+//	graphgen -dataset tpch -rep bitmap -out graph.el
+//	graphgen -validate 'Nodes(A):-R(A). Edges(A,B):-R(A,X),R(B,X).'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphgen"
+	"graphgen/internal/datagen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "dblp", "built-in dataset: dblp, imdb, tpch, univ")
+	queryFile := flag.String("query-file", "", "file containing the extraction query (default: the dataset's canonical query)")
+	rep := flag.String("rep", "cdup", "target representation: cdup, exp, dedup1, dedup2, bitmap")
+	analyze := flag.String("analyze", "", "analysis to run: degree, bfs, pagerank, components, triangles")
+	out := flag.String("out", "", "write the expanded edge list to this file")
+	outJSON := flag.String("out-json", "", "write the graph as JSON to this file")
+	validate := flag.String("validate", "", "parse and classify a query (Case 1 vs Case 2) and exit")
+	seed := flag.Int64("seed", 1, "dataset generator seed")
+	suggestFlag := flag.Bool("suggest", false, "propose candidate extraction queries for the dataset's schema and exit")
+	csvTables := flag.String("csv", "", "comma-separated name=path.csv pairs loaded into a fresh database instead of -dataset")
+	flag.Parse()
+
+	if *validate != "" {
+		cases, err := graphgen.Validate(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		for i, ok := range cases {
+			kind := "Case 2 (full expansion)"
+			if ok {
+				kind = "Case 1 (condensable chain)"
+			}
+			fmt.Printf("Edges rule %d: %s\n", i+1, kind)
+		}
+		return
+	}
+
+	var db *graphgen.DB
+	var query string
+	if *csvTables != "" {
+		db = graphgen.NewDB()
+		for _, pair := range strings.Split(*csvTables, ",") {
+			name, path, ok := strings.Cut(pair, "=")
+			if !ok {
+				fatal(fmt.Errorf("-csv needs name=path pairs, got %q", pair))
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			_, err = db.LoadCSV(name, f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		db, query = builtinDataset(*dataset, *seed)
+	}
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		query = string(data)
+	}
+
+	if *suggestFlag {
+		props, err := graphgen.Suggest(db)
+		if err != nil {
+			fatal(err)
+		}
+		if len(props) == 0 {
+			fmt.Println("no graph proposals found for this schema")
+			return
+		}
+		for i, p := range props {
+			fmt.Printf("#%d [%s] %s (est. %d edges)\n%s\n", i+1, p.Kind, p.Description, p.EstimatedEdges, indent(p.Query))
+		}
+		return
+	}
+	if query == "" {
+		fatal(fmt.Errorf("no query: pass -query-file or use a built-in -dataset"))
+	}
+
+	engine := graphgen.NewEngine(db)
+	g, err := engine.Extract(query)
+	if err != nil {
+		fatal(err)
+	}
+	st := g.ExtractionStats()
+	fmt.Printf("extracted %s graph: %d vertices, %d virtual nodes, %d representation edges\n",
+		g.Representation(), g.NumVertices(), g.NumVirtualNodes(), g.RepEdges())
+	fmt.Printf("planner: %d large-output joins postponed, %d joins handed to the database, %d Case-2 rules\n",
+		st.LargeOutputJoins, st.DatabaseJoins, st.Case2Rules)
+
+	if target := parseRep(*rep); target != g.Representation() {
+		conv, err := g.As(target)
+		if err != nil {
+			fatal(fmt.Errorf("converting to %v: %w", target, err))
+		}
+		g = conv
+		fmt.Printf("converted to %s: %d representation edges, ~%.2f MB\n",
+			g.Representation(), g.RepEdges(), float64(g.MemBytes())/(1<<20))
+	}
+
+	switch *analyze {
+	case "":
+	case "degree":
+		deg := g.Degrees()
+		max, maxID := -1, int64(0)
+		for id, d := range deg {
+			if d > max {
+				max, maxID = d, id
+			}
+		}
+		fmt.Printf("degree: max %d at vertex %d\n", max, maxID)
+	case "bfs":
+		it := g.Vertices()
+		src, _ := it.Next()
+		visited, depth := g.BFS(src)
+		fmt.Printf("bfs from %d: visited %d vertices, max depth %d\n", src, visited, depth)
+	case "pagerank":
+		pr := g.PageRank(20, 0.85)
+		best, bestID := -1.0, int64(0)
+		for id, r := range pr {
+			if r > best {
+				best, bestID = r, id
+			}
+		}
+		name, _ := g.PropertyOf(bestID, "Name")
+		fmt.Printf("pagerank: top vertex %d (%s) with rank %.6f\n", bestID, name, best)
+	case "components":
+		_, n := g.ConnectedComponents()
+		fmt.Printf("connected components: %d\n", n)
+	case "triangles":
+		fmt.Printf("triangles: %d\n", g.CountTriangles())
+	default:
+		fatal(fmt.Errorf("unknown -analyze %q", *analyze))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteEdgeList(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote edge list to %s\n", *out)
+	}
+	if *outJSON != "" {
+		f, err := os.Create(*outJSON)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote JSON to %s\n", *outJSON)
+	}
+}
+
+func builtinDataset(name string, seed int64) (*graphgen.DB, string) {
+	switch strings.ToLower(name) {
+	case "dblp":
+		return datagen.DBLPLike(seed, 2000, 1600), datagen.QueryCoauthors
+	case "imdb":
+		return datagen.IMDBLike(seed, 1200, 200), datagen.QueryCoactors
+	case "tpch":
+		return datagen.TPCHLike(seed, 250, 1500, 30, 3), datagen.QuerySamePart
+	case "univ":
+		return datagen.UnivLike(seed, 600, 20, 40, 4), datagen.QuerySameCourse
+	default:
+		fatal(fmt.Errorf("unknown dataset %q (have dblp, imdb, tpch, univ)", name))
+		return nil, ""
+	}
+}
+
+func parseRep(s string) graphgen.Representation {
+	switch strings.ToLower(s) {
+	case "cdup", "c-dup":
+		return graphgen.CDUP
+	case "exp":
+		return graphgen.EXP
+	case "dedup1", "dedup-1":
+		return graphgen.DEDUP1
+	case "dedup2", "dedup-2":
+		return graphgen.DEDUP2
+	case "bitmap", "bmp":
+		return graphgen.BITMAP
+	default:
+		fatal(fmt.Errorf("unknown representation %q", s))
+		return graphgen.CDUP
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// University: heterogeneous graph extraction ([Q3] of the paper) — a
+// directed bipartite instructor->student graph and a student co-enrollment
+// graph from the same database, analyzed with a custom vertex-centric
+// program (teaching reach via 2-hop propagation).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"graphgen"
+	"graphgen/internal/datagen"
+)
+
+func main() {
+	db := datagen.UnivLike(11, 900, 25, 50, 4)
+	engine := graphgen.NewEngine(db)
+
+	// Heterogeneous bipartite graph: two Nodes statements, one Edges
+	// statement connecting instructors to the students they taught.
+	bip, err := engine.Extract(datagen.QueryInstructorStudent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bipartite graph: %d vertices (instructors + students), %d logical edges\n",
+		bip.NumVertices(), bip.LogicalEdges())
+
+	// Teaching reach: number of students each instructor taught.
+	deg := bip.Degrees()
+	type inst struct {
+		id    int64
+		reach int
+	}
+	var is []inst
+	for id, d := range deg {
+		if d > 0 { // instructors are the only sources in this graph
+			is = append(is, inst{id, d})
+		}
+	}
+	sort.Slice(is, func(i, j int) bool {
+		if is[i].reach != is[j].reach {
+			return is[i].reach > is[j].reach
+		}
+		return is[i].id < is[j].id
+	})
+	fmt.Println("\ninstructors by teaching reach:")
+	for _, i := range is[:min(5, len(is))] {
+		name, _ := bip.PropertyOf(i.id, "Name")
+		fmt.Printf("  %-16s taught %d students\n", name, i.reach)
+	}
+
+	// Same-course student graph from the same database, extracted
+	// condensed (one virtual node per course).
+	co, err := engine.Extract(datagen.QuerySameCourse, graphgen.WithoutPreprocessing())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nco-enrollment graph: %d students, %d virtual course nodes, %d physical edges (%d logical)\n",
+		co.NumVertices(), co.NumVirtualNodes(), co.RepEdges(), co.LogicalEdges())
+
+	// A custom vertex-centric program on the condensed graph: two rounds
+	// of neighborhood-size propagation approximating each student's
+	// 2-hop study network.
+	vals, supersteps := co.RunVertexCentric(graphgen.ComputeFunc(func(ctx *graphgen.VertexContext) {
+		switch ctx.Superstep() {
+		case 0:
+			ctx.SetValue(float64(ctx.Degree()))
+		case 1:
+			sum := ctx.Value()
+			ctx.ForNeighbors(func(u int32) bool {
+				sum += ctx.NeighborValue(u)
+				return true
+			})
+			ctx.SetValue(sum)
+			ctx.VoteToHalt()
+		}
+	}), 4)
+	best, bestID := -1.0, int64(0)
+	for id, v := range vals {
+		if v > best {
+			best, bestID = v, id
+		}
+	}
+	name, _ := co.PropertyOf(bestID, "Name")
+	fmt.Printf("vertex-centric (%d supersteps): best-connected student %s with 2-hop score %.0f\n",
+		supersteps, name, best)
+
+	// Convert the co-enrollment graph to DEDUP-2, the representation
+	// built for exactly this clique-heavy shape.
+	d2, err := co.As(graphgen.DEDUP2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDEDUP-2: %d physical edges vs %d in C-DUP (same %d logical edges)\n",
+		d2.RepEdges(), co.RepEdges(), d2.LogicalEdges())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

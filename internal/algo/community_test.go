@@ -1,0 +1,152 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"graphgen/internal/core"
+)
+
+// twoCliquesGraph builds two 5-cliques joined by a single bridge edge.
+func twoCliquesGraph() *core.Graph {
+	g := core.New(core.CDUP)
+	g.Symmetric = true
+	for i := int64(1); i <= 10; i++ {
+		g.AddRealNode(i)
+	}
+	a := g.AddVirtualNode(1)
+	b := g.AddVirtualNode(1)
+	for r := int32(0); r < 5; r++ {
+		g.AddMember(a, r)
+	}
+	for r := int32(5); r < 10; r++ {
+		g.AddMember(b, r)
+	}
+	g.AddDirectEdgeIdx(4, 5)
+	g.AddDirectEdgeIdx(5, 4)
+	g.SortAdjacency()
+	return g
+}
+
+func TestLabelPropagationFindsCliques(t *testing.T) {
+	g := twoCliquesGraph()
+	labels, n := LabelPropagation(g, 20, 1)
+	if n < 1 || n > 3 {
+		t.Fatalf("communities = %d, want a small number", n)
+	}
+	// Members of the same clique (excluding the bridge endpoints) must
+	// share a label.
+	for r := int32(1); r < 4; r++ {
+		if labels[r] != labels[0] {
+			t.Fatalf("clique A split: labels %v", labels[:5])
+		}
+	}
+	for r := int32(6); r < 9; r++ {
+		if labels[r] != labels[9] {
+			t.Fatalf("clique B split: labels %v", labels[5:])
+		}
+	}
+}
+
+func TestLabelPropagationAcrossRepresentations(t *testing.T) {
+	reps := allReps(t, 29)
+	for name, g := range reps {
+		_, n := LabelPropagation(g, 15, 7)
+		if n <= 0 || n > g.NumRealNodes() {
+			t.Fatalf("%s: communities = %d", name, n)
+		}
+	}
+}
+
+func TestKCoreKnownGraph(t *testing.T) {
+	g := twoCliquesGraph()
+	core5 := KCore(g)
+	// Every member of a 5-clique has core number 4.
+	for r := int32(0); r < 10; r++ {
+		if core5[r] != 4 {
+			t.Fatalf("core[%d] = %d, want 4", r, core5[r])
+		}
+	}
+	// Add a pendant vertex: its core number is 1.
+	g2 := twoCliquesGraph()
+	p := g2.AddRealNode(11)
+	g2.AddDirectEdgeIdx(p, 0)
+	g2.AddDirectEdgeIdx(0, p)
+	cores := KCore(g2)
+	if cores[p] != 1 {
+		t.Fatalf("pendant core = %d, want 1", cores[p])
+	}
+	if cores[0] != 4 {
+		t.Fatalf("core[0] = %d, want 4", cores[0])
+	}
+}
+
+func TestKCoreAgreesAcrossRepresentations(t *testing.T) {
+	reps := allReps(t, 31)
+	ref := KCore(reps["EXP"])
+	want := make(map[int64]int)
+	reps["EXP"].ForEachReal(func(r int32) bool {
+		want[reps["EXP"].RealID(r)] = ref[r]
+		return true
+	})
+	for name, g := range reps {
+		got := KCore(g)
+		g.ForEachReal(func(r int32) bool {
+			if got[r] != want[g.RealID(r)] {
+				t.Fatalf("%s: core(%d) = %d, want %d", name, g.RealID(r), got[r], want[g.RealID(r)])
+			}
+			return true
+		})
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// A single clique has coefficient 1.
+	g := core.New(core.CDUP)
+	g.Symmetric = true
+	for i := int64(1); i <= 5; i++ {
+		g.AddRealNode(i)
+	}
+	v := g.AddVirtualNode(1)
+	for r := int32(0); r < 5; r++ {
+		g.AddMember(v, r)
+	}
+	if c := ClusteringCoefficient(g); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("clique coefficient = %g, want 1", c)
+	}
+	// A star has coefficient 0.
+	star := core.New(core.EXP)
+	for i := int64(1); i <= 5; i++ {
+		star.AddRealNode(i)
+	}
+	for r := int32(1); r < 5; r++ {
+		star.AddDirectEdgeIdx(0, r)
+		star.AddDirectEdgeIdx(r, 0)
+	}
+	if c := ClusteringCoefficient(star); c != 0 {
+		t.Fatalf("star coefficient = %g, want 0", c)
+	}
+	// Empty graph.
+	if c := ClusteringCoefficient(core.New(core.CDUP)); c != 0 {
+		t.Fatalf("empty coefficient = %g", c)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := twoCliquesGraph()
+	hist := DegreeHistogram(g)
+	// 8 nodes with degree 4, the two bridge endpoints with degree 5.
+	if hist[4] != 8 || hist[5] != 2 {
+		t.Fatalf("hist = %v", hist)
+	}
+	// Deleted vertices leave the histogram.
+	g.DeleteVertexID(1)
+	hist = DegreeHistogram(g)
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total != 9 {
+		t.Fatalf("histogram covers %d nodes, want 9", total)
+	}
+}

@@ -1,0 +1,82 @@
+// Package bitset provides a compact fixed-capacity bit set used by the
+// BITMAP graph representations to mask duplicate traversal paths.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity 0; use New to allocate capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set able to hold n bits, all initially zero.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports whether bit i is 1.
+func (s *Set) Get(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// SetAll sets every bit to 1.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	// Clear the bits beyond n in the final word so Count stays exact.
+	if extra := len(s.words)*64 - s.n; extra > 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= ^uint64(0) >> uint(extra)
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Resize grows (or shrinks) the set to n bits, preserving existing bits that
+// remain in range. Used when a virtual node's out-edge list changes after
+// bitmaps were assigned; callers must rebuild semantics themselves.
+func (s *Set) Resize(n int) {
+	words := make([]uint64, (n+63)/64)
+	copy(words, s.words)
+	s.words = words
+	s.n = n
+	if extra := len(words)*64 - n; extra > 0 && len(words) > 0 {
+		words[len(words)-1] &= ^uint64(0) >> uint(extra)
+	}
+}
+
+// MemBytes returns the approximate heap footprint of the set in bytes.
+func (s *Set) MemBytes() int { return len(s.words)*8 + 24 }

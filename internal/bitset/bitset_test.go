@@ -1,0 +1,99 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetClearGet(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 7 {
+		t.Fatalf("Clear(64) failed: count=%d", s.Count())
+	}
+}
+
+func TestSetAllAndAny(t *testing.T) {
+	s := New(70)
+	if s.Any() {
+		t.Fatal("fresh set reports Any")
+	}
+	s.SetAll()
+	if s.Count() != 70 {
+		t.Fatalf("Count after SetAll = %d, want 70", s.Count())
+	}
+	if !s.Any() {
+		t.Fatal("Any false after SetAll")
+	}
+	// SetAll must not set bits past Len.
+	if s.Get(69) != true {
+		t.Fatal("bit 69 unset")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(10)
+	s.Set(3)
+	c := s.Clone()
+	c.Set(5)
+	if s.Get(5) {
+		t.Fatal("clone mutation leaked")
+	}
+	if !c.Get(3) {
+		t.Fatal("clone lost bit")
+	}
+}
+
+func TestResize(t *testing.T) {
+	s := New(10)
+	s.Set(9)
+	s.Resize(200)
+	if !s.Get(9) || s.Len() != 200 {
+		t.Fatalf("resize lost state: get(9)=%v len=%d", s.Get(9), s.Len())
+	}
+	s.Set(199)
+	s.Resize(100)
+	if s.Len() != 100 || s.Count() != 1 {
+		t.Fatalf("shrink wrong: len=%d count=%d", s.Len(), s.Count())
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	if New(0).MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+	if New(1024).MemBytes() < 128 {
+		t.Fatal("MemBytes too small for 1024 bits")
+	}
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestQuickCountMatchesSets(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		s := New(1 << 16)
+		seen := make(map[int]struct{})
+		for _, i := range idxs {
+			s.Set(int(i))
+			seen[int(i)] = struct{}{}
+		}
+		return s.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

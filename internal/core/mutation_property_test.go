@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMutationsAgainstModel drives random AddEdge/DeleteEdge/
+// DeleteVertex/Compact sequences against a naive model (a map of edges) and
+// checks that the condensed graph agrees with the model after every step.
+// This exercises the "quite involved" virtual-edge surgery of DeleteEdge on
+// condensed representations.
+func TestQuickMutationsAgainstModel(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 12
+		g := New(CDUP)
+		g.Symmetric = true
+		for i := int64(1); i <= n; i++ {
+			g.AddRealNode(i)
+		}
+		// A few overlapping virtual nodes.
+		for v := 0; v < 4; v++ {
+			vn := g.AddVirtualNode(1)
+			perm := rng.Perm(n)
+			for _, m := range perm[:3+rng.Intn(4)] {
+				g.AddMember(vn, int32(m))
+			}
+		}
+		g.SortAdjacency()
+		// Model: the logical edge set plus vertex liveness.
+		model := make(map[[2]int64]bool)
+		alive := make(map[int64]bool)
+		for i := int64(1); i <= n; i++ {
+			alive[i] = true
+		}
+		g.ForEachReal(func(r int32) bool {
+			g.ForNeighbors(r, func(t int32) bool {
+				model[[2]int64{g.RealID(r), g.RealID(t)}] = true
+				return true
+			})
+			return true
+		})
+		check := func() bool {
+			got := g.EdgeSetByID()
+			if len(got) != len(model) {
+				return false
+			}
+			for e := range got {
+				if !model[e] {
+					return false
+				}
+			}
+			return true
+		}
+		liveIDs := func() []int64 {
+			var out []int64
+			for id, ok := range alive {
+				if ok {
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+		for _, op := range opsRaw {
+			ids := liveIDs()
+			if len(ids) < 2 {
+				break
+			}
+			u := ids[rng.Intn(len(ids))]
+			v := ids[rng.Intn(len(ids))]
+			switch op % 4 {
+			case 0: // AddEdge
+				if u == v {
+					continue
+				}
+				if err := g.AddEdge(u, v); err != nil {
+					t.Logf("AddEdge(%d,%d): %v", u, v, err)
+					return false
+				}
+				model[[2]int64{u, v}] = true
+			case 1: // DeleteEdge (only existing ones)
+				if !model[[2]int64{u, v}] {
+					continue
+				}
+				if err := g.DeleteEdge(u, v); err != nil {
+					t.Logf("DeleteEdge(%d,%d): %v", u, v, err)
+					return false
+				}
+				delete(model, [2]int64{u, v})
+			case 2: // DeleteVertex
+				if err := g.DeleteVertex(u); err != nil {
+					t.Logf("DeleteVertex(%d): %v", u, err)
+					return false
+				}
+				alive[u] = false
+				for e := range model {
+					if e[0] == u || e[1] == u {
+						delete(model, e)
+					}
+				}
+			case 3: // Compact
+				g.Compact()
+			}
+			if !check() {
+				t.Logf("divergence after op %d on (%d,%d): graph %d edges, model %d",
+					op%4, u, v, len(g.EdgeSetByID()), len(model))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,410 @@
+package core
+
+// This file implements getNeighbors for every representation (Section 4.3).
+// The fundamental contract: ForNeighbors(r, fn) invokes fn exactly once for
+// every logical out-neighbor of real node r, however many physical paths the
+// representation stores between them.
+//
+//   - EXP:     scan the direct out list.
+//   - C-DUP:   depth-first traversal through virtual nodes with an on-the-fly
+//     hash set over the real nodes already seen (the paper's "naive
+//     solution to deduplication").
+//   - DEDUP-1: plain traversal; the deduplication algorithms guarantee at
+//     most one path between any two real nodes, so no hash set is
+//     needed (this is precisely its performance advantage).
+//   - BITMAP:  traversal consults the per-(origin, virtual node) bitmaps to
+//     decide which outgoing edges of a virtual node to follow.
+//   - DEDUP-2: a real node reaches the targets of each directly adjacent
+//     virtual node V plus the targets of V's undirected 1-hop
+//     virtual neighborhood.
+
+// ForNeighbors calls fn for each logical out-neighbor of real index r,
+// exactly once per neighbor. If fn returns false the iteration stops early.
+func (g *Graph) ForNeighbors(r int32, fn func(t int32) bool) {
+	if !g.Alive(r) {
+		return
+	}
+	switch g.mode {
+	case EXP:
+		for _, t := range g.outReal[r] {
+			if g.dead[t] || (t == r && !g.SelfLoops) {
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case CDUP:
+		g.forNeighborsCDUP(r, fn)
+	case DEDUP1:
+		g.forNeighborsDedup1(r, fn)
+	case BITMAP:
+		g.forNeighborsBitmap(r, fn)
+	case DEDUP2:
+		g.forNeighborsDedup2(r, fn)
+	}
+}
+
+// emit filters tombstones and self loops; returns false to stop iteration.
+func (g *Graph) emit(r, t int32, fn func(int32) bool) bool {
+	if g.dead[t] || (t == r && !g.SelfLoops) {
+		return true
+	}
+	return fn(t)
+}
+
+func (g *Graph) forNeighborsCDUP(r int32, fn func(int32) bool) {
+	seen := make(map[int32]struct{}, 8)
+	// Direct edges participate in the duplicate check too: a direct edge
+	// added by AddEdge may coexist with a virtual path in C-DUP.
+	for _, t := range g.outReal[r] {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if !g.emit(r, t, fn) {
+			return
+		}
+	}
+	// Depth-first traversal through virtual nodes. Virtual nodes can be
+	// reached through multiple paths in multi-layer graphs, so they are
+	// tracked in their own visited set to bound the traversal.
+	var seenVirt map[int32]struct{}
+	multi := g.multiLayer()
+	if multi {
+		seenVirt = make(map[int32]struct{}, 8)
+	}
+	var stack []int32
+	stack = append(stack, g.outVirt[r]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if multi {
+			if _, dup := seenVirt[v]; dup {
+				continue
+			}
+			seenVirt[v] = struct{}{}
+		}
+		for _, t := range g.vOut[v] {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			if !g.emit(r, t, fn) {
+				return
+			}
+		}
+		stack = append(stack, g.vOutVirt[v]...)
+	}
+}
+
+func (g *Graph) forNeighborsDedup1(r int32, fn func(int32) bool) {
+	for _, t := range g.outReal[r] {
+		if !g.emit(r, t, fn) {
+			return
+		}
+	}
+	var stack []int32
+	stack = append(stack, g.outVirt[r]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range g.vOut[v] {
+			if !g.emit(r, t, fn) {
+				return
+			}
+		}
+		stack = append(stack, g.vOutVirt[v]...)
+	}
+}
+
+func (g *Graph) forNeighborsBitmap(r int32, fn func(int32) bool) {
+	for _, t := range g.outReal[r] {
+		if !g.emit(r, t, fn) {
+			return
+		}
+	}
+	// In multi-layer graphs the same virtual node may be physically
+	// reachable via several upper-layer paths; the bitmap for (r, V) must
+	// be applied once, so visited virtual nodes are tracked.
+	var seenVirt map[int32]struct{}
+	if g.multiLayer() {
+		seenVirt = make(map[int32]struct{}, 8)
+	}
+	var stack []int32
+	stack = append(stack, g.outVirt[r]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seenVirt != nil {
+			if _, dup := seenVirt[v]; dup {
+				continue
+			}
+			seenVirt[v] = struct{}{}
+		}
+		bmp, hasBmp := g.Bitmap(v, r)
+		nOut := len(g.vOut[v])
+		for i, t := range g.vOut[v] {
+			if hasBmp && !bmp.Get(i) {
+				continue
+			}
+			if !g.emit(r, t, fn) {
+				return
+			}
+		}
+		for i, w := range g.vOutVirt[v] {
+			if hasBmp && bmp.Len() > nOut && !bmp.Get(nOut+i) {
+				continue
+			}
+			stack = append(stack, w)
+		}
+	}
+}
+
+func (g *Graph) forNeighborsDedup2(r int32, fn func(int32) bool) {
+	for _, t := range g.outReal[r] {
+		if !g.emit(r, t, fn) {
+			return
+		}
+	}
+	for _, v := range g.outVirt[r] {
+		for _, t := range g.vOut[v] {
+			if t == r {
+				continue // u itself is a member of V
+			}
+			if !g.emit(r, t, fn) {
+				return
+			}
+		}
+		for _, w := range g.vUndir[v] {
+			for _, t := range g.vOut[w] {
+				if t == r {
+					continue
+				}
+				if !g.emit(r, t, fn) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ForInNeighbors calls fn exactly once for every logical in-neighbor of r.
+// EXP and DEDUP-1 walk backward without a hash set (unique-path guarantee
+// holds in both directions); C-DUP and BITMAP use a hash set — bitmaps mask
+// forward duplicate paths only, and since BITMAP never removes a logical
+// edge, backward physical reachability equals the logical in-neighbor set.
+// DEDUP-2 graphs are symmetric, so in-neighbors equal out-neighbors.
+func (g *Graph) ForInNeighbors(r int32, fn func(s int32) bool) {
+	if !g.Alive(r) {
+		return
+	}
+	switch g.mode {
+	case EXP:
+		for _, s := range g.inReal[r] {
+			if g.dead[s] || (s == r && !g.SelfLoops) {
+				continue
+			}
+			if !fn(s) {
+				return
+			}
+		}
+	case DEDUP1:
+		for _, s := range g.inReal[r] {
+			if !g.emit(r, s, fn) {
+				return
+			}
+		}
+		var stack []int32
+		stack = append(stack, g.inVirt[r]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.vIn[v] {
+				if !g.emit(r, s, fn) {
+					return
+				}
+			}
+			stack = append(stack, g.vInVirt[v]...)
+		}
+	case DEDUP2:
+		g.forNeighborsDedup2(r, fn)
+	default: // CDUP, BITMAP
+		seen := make(map[int32]struct{}, 8)
+		for _, s := range g.inReal[r] {
+			if _, dup := seen[s]; dup {
+				continue
+			}
+			seen[s] = struct{}{}
+			if !g.emit(r, s, fn) {
+				return
+			}
+		}
+		seenVirt := make(map[int32]struct{}, 8)
+		var stack []int32
+		stack = append(stack, g.inVirt[r]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, dup := seenVirt[v]; dup {
+				continue
+			}
+			seenVirt[v] = struct{}{}
+			for _, s := range g.vIn[v] {
+				if _, dup := seen[s]; dup {
+					continue
+				}
+				seen[s] = struct{}{}
+				if !g.emit(r, s, fn) {
+					return
+				}
+			}
+			stack = append(stack, g.vInVirt[v]...)
+		}
+	}
+}
+
+// NeighborsIdx returns the logical out-neighbors of r as a fresh slice.
+func (g *Graph) NeighborsIdx(r int32) []int32 {
+	var out []int32
+	g.ForNeighbors(r, func(t int32) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// OutDegree returns the number of logical out-neighbors of r.
+func (g *Graph) OutDegree(r int32) int {
+	n := 0
+	g.ForNeighbors(r, func(int32) bool { n++; return true })
+	return n
+}
+
+// HasEdgeIdx reports whether the logical edge u -> w exists. Because no
+// representation ever removes a logical edge — bitmaps and DEDUP surgery
+// only remove redundant paths — physical forward reachability equals
+// logical edge existence, so the check ignores bitmaps and mode-specific
+// filtering except for DEDUP-2's 1-hop rule.
+func (g *Graph) HasEdgeIdx(u, w int32) bool {
+	if !g.Alive(u) || !g.Alive(w) {
+		return false
+	}
+	if u == w && !g.SelfLoops {
+		return false
+	}
+	for _, t := range g.outReal[u] {
+		if t == w {
+			return true
+		}
+	}
+	if g.mode == DEDUP2 {
+		for _, v := range g.outVirt[u] {
+			if containsSorted(g.vOut[v], w) {
+				return true
+			}
+			for _, x := range g.vUndir[v] {
+				if containsSorted(g.vOut[x], w) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Forward DFS through virtual nodes with early exit. The auxiliary
+	// index the paper mentions is the sorted vOut list per virtual node.
+	var seenVirt map[int32]struct{}
+	multi := g.multiLayer()
+	if multi {
+		seenVirt = make(map[int32]struct{}, 8)
+	}
+	var stack []int32
+	stack = append(stack, g.outVirt[u]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if multi {
+			if _, dup := seenVirt[v]; dup {
+				continue
+			}
+			seenVirt[v] = struct{}{}
+		}
+		if containsSorted(g.vOut[v], w) {
+			return true
+		}
+		stack = append(stack, g.vOutVirt[v]...)
+	}
+	return false
+}
+
+// containsSorted reports whether x occurs in s. It binary-searches when the
+// slice is long; adjacency is kept sorted by SortAdjacency, and mutation
+// paths that break the order fall back to the linear scan correctness-wise
+// (binary search is only used on slices verified sorted at call sites that
+// guarantee it — here we scan short slices and probe long ones carefully).
+func containsSorted(s []int32, x int32) bool {
+	if len(s) <= 16 {
+		for _, e := range s {
+			if e == x {
+				return true
+			}
+		}
+		return false
+	}
+	// The slice may have been appended to after SortAdjacency; verify the
+	// probe result with a bounded fallback when the order is broken.
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == x {
+		return true
+	}
+	if isSorted(s) {
+		return false
+	}
+	for _, e := range s {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
+func isSorted(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachReal calls fn for every live real index.
+func (g *Graph) ForEachReal(fn func(r int32) bool) {
+	for r := int32(0); int(r) < len(g.realID); r++ {
+		if g.dead[r] {
+			continue
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// ForEachVirtual calls fn for every live virtual index.
+func (g *Graph) ForEachVirtual(fn func(v int32) bool) {
+	for v := int32(0); int(v) < len(g.vLayer); v++ {
+		if g.vDead[v] {
+			continue
+		}
+		if !fn(v) {
+			return
+		}
+	}
+}

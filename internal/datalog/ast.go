@@ -1,0 +1,125 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the kinds of atom arguments.
+type TermKind uint8
+
+// Term kinds.
+const (
+	// TermVar is a Datalog variable.
+	TermVar TermKind = iota
+	// TermWildcard is the anonymous variable _.
+	TermWildcard
+	// TermInt is an integer constant (a selection predicate).
+	TermInt
+	// TermString is a string constant (a selection predicate).
+	TermString
+)
+
+// Term is one argument of an atom.
+type Term struct {
+	Kind TermKind
+	Var  string
+	Int  int64
+	Str  string
+}
+
+// String renders the term in source form.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return t.Var
+	case TermWildcard:
+		return "_"
+	case TermInt:
+		return fmt.Sprintf("%d", t.Int)
+	default:
+		return fmt.Sprintf("%q", t.Str)
+	}
+}
+
+// Atom is a predicate applied to terms: Pred(t1, ..., tn). In rule bodies
+// Pred names a database table; in heads it is Nodes or Edges.
+type Atom struct {
+	Pred  string
+	Terms []Term
+	Line  int
+}
+
+// String renders the atom in source form.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ", "))
+}
+
+// Vars returns the distinct variable names of the atom, in order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]struct{})
+	for _, t := range a.Terms {
+		if t.Kind != TermVar {
+			continue
+		}
+		if _, dup := seen[t.Var]; dup {
+			continue
+		}
+		seen[t.Var] = struct{}{}
+		out = append(out, t.Var)
+	}
+	return out
+}
+
+// HasVar reports whether the atom mentions the variable.
+func (a Atom) HasVar(name string) bool {
+	for _, t := range a.Terms {
+		if t.Kind == TermVar && t.Var == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule is head :- body.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	Line int
+}
+
+// String renders the rule in source form.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s :- %s.", r.Head.String(), strings.Join(parts, ", "))
+}
+
+// Program is a parsed extraction query: one or more Nodes rules followed by
+// one or more Edges rules (multiple statements extract heterogeneous
+// graphs, Section 3.2).
+type Program struct {
+	Nodes []Rule
+	Edges []Rule
+}
+
+// String renders the program in source form.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, r := range p.Nodes {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	for _, r := range p.Edges {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,216 @@
+package datalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const q1 = `
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+`
+
+const q2 = `
+Nodes(ID, Name) :- Customer(ID, Name).
+Edges(ID1, ID2) :- Orders(ok1, ID1), LineItem(ok1, pk), Orders(ok2, ID2), LineItem(ok2, pk).
+`
+
+const q3 = `
+Nodes(ID, Name) :- Instructor(ID, Name).
+Nodes(ID, Name) :- Student(ID, Name).
+Edges(ID1, ID2) :- TaughtCourse(ID1, c), TookCourse(ID2, c).
+`
+
+func TestParseQ1(t *testing.T) {
+	p, err := Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 1 || len(p.Edges) != 1 {
+		t.Fatalf("nodes=%d edges=%d", len(p.Nodes), len(p.Edges))
+	}
+	e := p.Edges[0]
+	if e.Head.Terms[0].Var != "ID1" || e.Head.Terms[1].Var != "ID2" {
+		t.Fatalf("head = %s", e.Head)
+	}
+	if len(e.Body) != 2 || e.Body[0].Pred != "AuthorPub" {
+		t.Fatalf("body = %v", e.Body)
+	}
+}
+
+func TestParseQ3MultipleNodes(t *testing.T) {
+	p, err := Parse(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(p.Nodes))
+	}
+}
+
+func TestParseWildcardAndConstants(t *testing.T) {
+	src := `
+Nodes(ID) :- Name(ID, _).
+Edges(ID1, ID2) :- CastInfo(_, ID1, m, 5), CastInfo(_, ID2, m, 'actor').
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := p.Edges[0].Body
+	if body[0].Terms[0].Kind != TermWildcard {
+		t.Fatal("wildcard not parsed")
+	}
+	if body[0].Terms[3].Kind != TermInt || body[0].Terms[3].Int != 5 {
+		t.Fatal("int constant not parsed")
+	}
+	if body[1].Terms[3].Kind != TermString || body[1].Terms[3].Str != "actor" {
+		t.Fatal("string constant not parsed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+% a co-author graph
+Nodes(ID, Name) :- Author(ID, Name). // inline style
+Edges(A, B) :- AP(A, P), AP(B, P).
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no nodes", `Edges(A,B) :- R(A,B).`},
+		{"no edges", `Nodes(A) :- R(A).`},
+		{"bad head", `Foo(A) :- R(A). Edges(A,B) :- R(A,B).`},
+		{"recursive", `Nodes(A) :- R(A). Edges(A,B) :- Edges(A,C), R(C,B).`},
+		{"edges one id", `Nodes(A) :- R(A). Edges(A) :- R(A,B).`},
+		{"nodes const id", `Nodes(5) :- R(A). Edges(A,B) :- R(A,B).`},
+		{"missing dot", `Nodes(A) :- R(A)`},
+		{"missing implies", `Nodes(A) R(A).`},
+		{"unterminated string", `Nodes(A) :- R(A, 'x).`},
+		{"stray char", `Nodes(A) :- R(A$).`},
+		{"empty", ``},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("Nodes(A) :- R(A).\nEdges(A,B) :- R(A,B)")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *SyntaxError, got %T", err)
+	}
+	if se.Line < 2 {
+		t.Fatalf("error line = %d, want >= 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line") {
+		t.Fatalf("error message lacks position: %v", se)
+	}
+}
+
+func TestAnalyzeChainQ1(t *testing.T) {
+	p, _ := Parse(q1)
+	c, err := AnalyzeChain(p.Edges[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Steps) != 2 || len(c.JoinVars) != 1 || c.JoinVars[0] != "PubID" {
+		t.Fatalf("chain = %+v", c)
+	}
+	if c.Steps[0].InVar != "ID1" || c.Steps[1].OutVar != "ID2" {
+		t.Fatalf("boundary vars wrong: %+v", c.Steps)
+	}
+}
+
+func TestAnalyzeChainQ2FourAtoms(t *testing.T) {
+	p, _ := Parse(q2)
+	c, err := AnalyzeChain(p.Edges[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(c.Steps))
+	}
+	wantJoins := []string{"ok1", "pk", "ok2"}
+	for i, v := range wantJoins {
+		if c.JoinVars[i] != v {
+			t.Fatalf("join %d = %q, want %q", i, c.JoinVars[i], v)
+		}
+	}
+	// The chain must be ordered from the ID1 atom to the ID2 atom even
+	// though the source lists Orders(ok2, ID2) third.
+	if !c.Steps[0].Atom.HasVar("ID1") || !c.Steps[3].Atom.HasVar("ID2") {
+		t.Fatalf("chain misordered: %v", c.Steps)
+	}
+}
+
+func TestAnalyzeChainSingleAtom(t *testing.T) {
+	p, err := Parse(`Nodes(A) :- R(A). Edges(A,B) :- Follows(A, B).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := AnalyzeChain(p.Edges[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Steps) != 1 || len(c.JoinVars) != 0 {
+		t.Fatalf("chain = %+v", c)
+	}
+}
+
+func TestAnalyzeChainRejectsCase2(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"cycle", `Nodes(A) :- R(A). Edges(A,B) :- R(A,X), S(X,Y), T(Y,A2), U(A2, X), V(A2, B).`},
+		{"var in 3 atoms", `Nodes(A) :- R(A). Edges(A,B) :- R(A,X), S(X,C), T(X,B).`},
+		{"multi-var join", `Nodes(A) :- R(A). Edges(A,B) :- R(A,X,Y), S(X,Y,B).`},
+		{"disconnected", `Nodes(A) :- R(A). Edges(A,B) :- R(A,X), S(Y,B).`},
+		{"same endpoint var", `Nodes(A) :- R(A). Edges(A,A) :- R(A,X).`},
+		{"both ids one atom multi", `Nodes(A) :- R(A). Edges(A,B) :- R(A,B), S(C,D).`},
+		{"id twice", `Nodes(A) :- R(A). Edges(A,B) :- R(A,X), S(A,X2), T(X,B).`},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if _, err := AnalyzeChain(p.Edges[0]); !errors.Is(err, ErrNotChain) {
+			t.Errorf("%s: err = %v, want ErrNotChain", c.name, err)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, _ := Parse(q1)
+	s := p.String()
+	if !strings.Contains(s, "Nodes(ID, Name) :- Author(ID, Name).") {
+		t.Fatalf("round trip lost content: %s", s)
+	}
+	// Re-parse the rendered program.
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	p, _ := Parse(q2)
+	a := p.Edges[0].Body[0] // Orders(ok1, ID1)
+	if got := a.Vars(); len(got) != 2 || got[0] != "ok1" {
+		t.Fatalf("Vars = %v", got)
+	}
+	if i, ok := a.TermIndex("ID1"); !ok || i != 1 {
+		t.Fatalf("TermIndex = %d, %v", i, ok)
+	}
+	if _, ok := a.TermIndex("nope"); ok {
+		t.Fatal("TermIndex found a missing var")
+	}
+}

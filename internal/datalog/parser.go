@@ -1,0 +1,181 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an extraction program. It enforces the structural rules of
+// Section 3.2: at least one Nodes statement, at least one Edges statement,
+// head predicates restricted to Nodes/Edges, Nodes heads with >= 1 term and
+// Edges heads with >= 2 terms (the ID positions), and non-recursive bodies
+// (no Nodes/Edges predicates in bodies).
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		rule, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(rule.Head.Pred) {
+		case "nodes":
+			if len(rule.Head.Terms) < 1 {
+				return nil, p.errAt(rule.Line, "Nodes head needs at least an ID term")
+			}
+			if rule.Head.Terms[0].Kind != TermVar {
+				return nil, p.errAt(rule.Line, "the first Nodes term must be the ID variable")
+			}
+			prog.Nodes = append(prog.Nodes, rule)
+		case "edges":
+			if len(rule.Head.Terms) < 2 {
+				return nil, p.errAt(rule.Line, "Edges head needs two ID terms")
+			}
+			if rule.Head.Terms[0].Kind != TermVar || rule.Head.Terms[1].Kind != TermVar {
+				return nil, p.errAt(rule.Line, "the first two Edges terms must be ID variables")
+			}
+			prog.Edges = append(prog.Edges, rule)
+		default:
+			return nil, p.errAt(rule.Line, fmt.Sprintf("head predicate must be Nodes or Edges, got %q", rule.Head.Pred))
+		}
+		for _, a := range rule.Body {
+			lower := strings.ToLower(a.Pred)
+			if lower == "nodes" || lower == "edges" {
+				return nil, p.errAt(a.Line, "recursive rules are not supported (Nodes/Edges cannot appear in bodies)")
+			}
+		}
+	}
+	if len(prog.Nodes) == 0 {
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "program needs at least one Nodes statement"}
+	}
+	if len(prog.Edges) == 0 {
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "program needs at least one Edges statement"}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, &SyntaxError{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected %s, got %s", what, p.tok)}
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) errAt(line int, msg string) error {
+	return &SyntaxError{Line: line, Col: 1, Msg: msg}
+}
+
+func (p *parser) parseRule() (Rule, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return Rule{}, err
+	}
+	if _, err := p.expect(tokImplies, "':-'"); err != nil {
+		return Rule{}, err
+	}
+	var body []Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return Rule{}, err
+		}
+		body = append(body, a)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return Rule{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return Rule{}, err
+	}
+	return Rule{Head: head, Body: body, Line: head.Line}, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return Atom{}, err
+	}
+	atom := Atom{Pred: name.text, Line: name.line}
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		atom.Terms = append(atom.Terms, term)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return Atom{}, err
+	}
+	return atom, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermVar, Var: v}, nil
+	case tokUnderscore:
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermWildcard}, nil
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return Term{}, &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: "invalid integer literal"}
+		}
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermInt, Int: n}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermString, Str: s}, nil
+	default:
+		return Term{}, &SyntaxError{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected a term, got %s", p.tok)}
+	}
+}

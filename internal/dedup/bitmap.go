@@ -1,0 +1,272 @@
+package dedup
+
+import (
+	"runtime"
+	"sync"
+
+	"graphgen/internal/bitset"
+	"graphgen/internal/core"
+)
+
+// This file implements the BITMAP preprocessing algorithms of Section 5.1.
+//
+// BITMAP-1 (Algorithm 2) associates bitmaps only with virtual nodes in the
+// penultimate layer (those with outgoing edges to real targets): for every
+// real node u it walks u's reachable virtual nodes once, and in each node's
+// target list marks 1 the first occurrence of every real target and 0 any
+// repeat. The edge structure is untouched.
+//
+// BITMAP-2 (Algorithm 1) phrases the per-origin problem as set cover (the
+// minimal-bitmaps problem is NP-hard, Section 5.1.2) and runs the standard
+// greedy approximation: repeatedly pick the reachable virtual node covering
+// the most uncovered targets. Chosen nodes get a bitmap with exactly the
+// newly covered bits set; unchosen reachable nodes get an all-zero mask; and
+// first-layer edges whose subtree contributed nothing are deleted outright
+// ("the edges from us to those nodes are simply deleted since there is no
+// reason to traverse those"). Outgoing edges of virtual nodes are never
+// deleted — another origin may need them.
+
+// Bitmap1 builds the BITMAP representation with the naive BITMAP-1
+// algorithm. It accepts any condensed graph (single- or multi-layer).
+func Bitmap1(g *core.Graph) (*core.Graph, Stats, error) {
+	out := g.Clone()
+	var st Stats
+	st.RepEdgesBefore = out.RepEdges()
+	out.NormalizeDirects()
+	seen := make(map[int32]struct{})
+	seenVirt := make(map[int32]struct{})
+	out.ForEachReal(func(u int32) bool {
+		clear(seen)
+		clear(seenVirt)
+		var stack []int32
+		stack = append(stack, out.OutVirtuals(u)...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, dup := seenVirt[v]; dup {
+				continue
+			}
+			seenVirt[v] = struct{}{}
+			targets := out.VirtTargets(v)
+			if len(targets) > 0 {
+				bmp := bitset.New(len(targets))
+				for i, t := range targets {
+					if t == u && !out.SelfLoops {
+						continue // self edge: leave masked
+					}
+					if _, dup := seen[t]; dup {
+						continue
+					}
+					seen[t] = struct{}{}
+					bmp.Set(i)
+				}
+				out.SetBitmap(v, u, bmp)
+				st.BitmapsCreated++
+			}
+			stack = append(stack, out.VirtOutVirt(v)...)
+		}
+		return true
+	})
+	out.SetMode(core.BITMAP)
+	st.RepEdgesAfter = out.RepEdges()
+	return out, st, nil
+}
+
+// bitmap2Plan is the per-origin result of the parallel analysis phase of
+// BITMAP-2: which virtual nodes get which bitmaps and which first-layer
+// edges are deleted. Mutations are applied serially afterwards; the paper
+// notes its own multi-threaded implementation needed careful concurrency
+// control for exactly this reason.
+type bitmap2Plan struct {
+	origin  int32
+	bitmaps []plannedBitmap
+	drop    []int32 // first-layer virtual nodes to disconnect from origin
+}
+
+type plannedBitmap struct {
+	virt int32
+	bits *bitset.Set
+}
+
+// Bitmap2 builds the BITMAP representation with the greedy set-cover
+// BITMAP-2 algorithm. It accepts any condensed graph; the analysis phase is
+// parallelized over chunks of real nodes (Section 5.1.3).
+func Bitmap2(g *core.Graph, opts Options) (*core.Graph, Stats, error) {
+	out := g.Clone()
+	var st Stats
+	st.RepEdgesBefore = out.RepEdges()
+	out.NormalizeDirects()
+
+	var origins []int32
+	out.ForEachReal(func(r int32) bool { origins = append(origins, r); return true })
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(origins) {
+		workers = 1
+	}
+	plans := make([][]bitmap2Plan, workers)
+	var wg sync.WaitGroup
+	chunk := (len(origins) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo >= len(origins) {
+			break
+		}
+		if hi > len(origins) {
+			hi = len(origins)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, u := range origins[lo:hi] {
+				if p := planBitmap2(out, u); p != nil {
+					plans[w] = append(plans[w], *p)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for _, ps := range plans {
+		for _, p := range ps {
+			for _, pb := range p.bitmaps {
+				out.SetBitmap(pb.virt, p.origin, pb.bits)
+				st.BitmapsCreated++
+			}
+			for _, v := range p.drop {
+				out.DisconnectRealToVirt(p.origin, v)
+			}
+		}
+	}
+	out.SetMode(core.BITMAP)
+	st.RepEdgesAfter = out.RepEdges()
+	return out, st, nil
+}
+
+// planBitmap2 computes the greedy set cover for one origin. It only reads
+// the graph, so it is safe to run concurrently with other origins.
+func planBitmap2(g *core.Graph, u int32) *bitmap2Plan {
+	first := g.OutVirtuals(u)
+	if len(first) == 0 {
+		return nil
+	}
+	// Collect the virtual nodes reachable from u (each once) and remember
+	// through which first-layer child they were first discovered so that
+	// useless first-layer subtrees can be pruned afterwards.
+	reach := make([]int32, 0, len(first))
+	seenVirt := make(map[int32]struct{})
+	var dfs func(v int32)
+	dfs = func(v int32) {
+		if _, dup := seenVirt[v]; dup {
+			return
+		}
+		seenVirt[v] = struct{}{}
+		reach = append(reach, v)
+		for _, w := range g.VirtOutVirt(v) {
+			dfs(w)
+		}
+	}
+	for _, v := range first {
+		dfs(v)
+	}
+	// Greedy set cover over the reachable nodes' target lists.
+	covered := make(map[int32]struct{})
+	chosen := make(map[int32]*bitset.Set)
+	remaining := append([]int32(nil), reach...)
+	for {
+		bestIdx, bestGain := -1, 0
+		for i, v := range remaining {
+			if v < 0 {
+				continue
+			}
+			gain := 0
+			for _, t := range g.VirtTargets(v) {
+				if t == u && !g.SelfLoops {
+					continue
+				}
+				if _, ok := covered[t]; !ok {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		v := remaining[bestIdx]
+		remaining[bestIdx] = -1
+		targets := g.VirtTargets(v)
+		bmp := bitset.New(len(targets))
+		for i, t := range targets {
+			if t == u && !g.SelfLoops {
+				continue
+			}
+			if _, ok := covered[t]; ok {
+				continue
+			}
+			covered[t] = struct{}{}
+			bmp.Set(i)
+		}
+		chosen[v] = bmp
+	}
+	p := &bitmap2Plan{origin: u}
+	for v, bmp := range chosen {
+		p.bitmaps = append(p.bitmaps, plannedBitmap{virt: v, bits: bmp})
+	}
+	// Prune first-layer edges whose whole subtree contributed nothing.
+	kept := make(map[int32]struct{})
+	for _, v := range first {
+		if !subtreeHasChosen(g, v, chosen) {
+			p.drop = append(p.drop, v)
+		} else {
+			kept[v] = struct{}{}
+		}
+	}
+	// Unchosen nodes still reachable after the drops get an all-zero mask
+	// so traversal skips their targets but still descends their subtrees.
+	// Nodes made unreachable by the drops need no mask at all — on
+	// single-layer graphs this eliminates every redundant bitmap.
+	reachable := make(map[int32]struct{})
+	var mark func(v int32)
+	mark = func(v int32) {
+		if _, dup := reachable[v]; dup {
+			return
+		}
+		reachable[v] = struct{}{}
+		for _, w := range g.VirtOutVirt(v) {
+			mark(w)
+		}
+	}
+	for v := range kept {
+		mark(v)
+	}
+	for _, v := range reach {
+		if _, ok := chosen[v]; ok {
+			continue
+		}
+		if _, ok := reachable[v]; !ok {
+			continue
+		}
+		if n := len(g.VirtTargets(v)); n > 0 {
+			p.bitmaps = append(p.bitmaps, plannedBitmap{virt: v, bits: bitset.New(n)})
+		}
+	}
+	return p
+}
+
+func subtreeHasChosen(g *core.Graph, v int32, chosen map[int32]*bitset.Set) bool {
+	if bmp, ok := chosen[v]; ok && bmp.Any() {
+		return true
+	}
+	for _, w := range g.VirtOutVirt(v) {
+		if subtreeHasChosen(g, w, chosen) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment regenerators are exercised end-to-end in quick mode: every
+// table/figure must produce non-empty, well-formed rows without errors.
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke run skipped in -short mode")
+	}
+	s := Scale{Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := e.Run(s)
+			if len(out) == 0 {
+				t.Fatal("empty output")
+			}
+			if strings.Contains(out, "error") || strings.Contains(out, "FAILED") {
+				t.Fatalf("experiment reported an error:\n%s", out)
+			}
+			if lines := strings.Count(out, "\n"); lines < 3 {
+				t.Fatalf("suspiciously short output (%d lines):\n%s", lines, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+}
+
+func TestTable1ShapeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check skipped in -short mode")
+	}
+	// Reproduction target (i): on the dense extractions the condensed
+	// representation must be (much) smaller than the full graph.
+	s := Scale{Quick: true}
+	for _, d := range Table1Datasets(s) {
+		if d.Name == "DBLP" {
+			continue // the paper's best case for EXP; sizes are close
+		}
+		cg, _, err := ExtractCondensed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, _, err := ExtractExpanded(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cg.RepEdges() >= eg.RepEdges() {
+			t.Errorf("%s: condensed %d edges >= expanded %d", d.Name, cg.RepEdges(), eg.RepEdges())
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) string
+}
+
+// All returns the experiment registry, one entry per table/figure of the
+// paper's evaluation.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Condensed vs full extraction", Table1},
+		{"table2", "Small dataset shapes", Table2},
+		{"fig10", "Compression across representations (incl. VMiner)", Figure10},
+		{"fig11", "Graph algorithm runtimes per representation", Figure11},
+		{"fig12a", "Deduplication algorithm runtimes", Figure12a},
+		{"fig12b", "Vertex-ordering effect on deduplication", Figure12b},
+		{"table3", "Large datasets: C-DUP vs BITMAP vs EXP", Table3},
+		{"fig13", "Graph API microbenchmarks", Figure13},
+		{"table4", "BSP (Giraph-style) algorithm runs", Table4},
+		{"table5", "BSP dataset shapes per representation", Table5},
+		{"table6", "Generated dataset selectivities", Table6},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

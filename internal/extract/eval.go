@@ -1,0 +1,132 @@
+package extract
+
+import (
+	"fmt"
+
+	"graphgen/internal/datalog"
+	"graphgen/internal/relstore"
+)
+
+// This file evaluates conjunctive queries (atom lists) against the relstore
+// substrate: per-atom scans with constant selections, hash joins on all
+// shared variables, and a final distinct projection. The extraction planner
+// uses it both for the in-segment joins it "hands to the database" and for
+// Case 2 full expansion.
+
+// evalConjunctive joins the atoms on their shared variables and projects
+// outVars. The atom list must be connected (every atom shares a variable
+// with the part already joined).
+func evalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool) (*relstore.Rel, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("extract: empty rule body")
+	}
+	cur, err := scanAtom(db, atoms[0])
+	if err != nil {
+		return nil, err
+	}
+	pending := make([]datalog.Atom, len(atoms)-1)
+	copy(pending, atoms[1:])
+	for len(pending) > 0 {
+		// Pick the next atom sharing a variable with the current
+		// relation, so disconnected bodies are detected rather than
+		// silently cross-producted.
+		picked := -1
+		var shared []string
+		for i, a := range pending {
+			s := sharedVars(cur, a)
+			if len(s) > 0 {
+				picked, shared = i, s
+				break
+			}
+		}
+		if picked < 0 {
+			return nil, fmt.Errorf("extract: rule body is disconnected (atom %s shares no variable)", pending[0])
+		}
+		rel, err := scanAtom(db, pending[picked])
+		if err != nil {
+			return nil, err
+		}
+		cur, err = relstore.MultiJoin(cur, rel, shared)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending[:picked], pending[picked+1:]...)
+	}
+	return relstore.Project(cur, outVars, distinct)
+}
+
+func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
+	var out []string
+	for _, v := range a.Vars() {
+		if _, ok := r.ColIndex(v); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// scanAtom scans the atom's table, applying constant terms as selection
+// predicates and intra-atom repeated variables as equality filters, and
+// projects the variable positions under their variable names.
+func scanAtom(db *relstore.DB, atom datalog.Atom) (*relstore.Rel, error) {
+	t, err := db.Table(atom.Pred)
+	if err != nil {
+		return nil, err
+	}
+	if len(atom.Terms) > len(t.Cols) {
+		return nil, fmt.Errorf("extract: atom %s has %d terms but table %s has %d columns",
+			atom, len(atom.Terms), t.Name, len(t.Cols))
+	}
+	var preds []relstore.Pred
+	var cols []int
+	var names []string
+	firstPos := make(map[string]int)
+	var equalities [][2]int
+	for i, term := range atom.Terms {
+		switch term.Kind {
+		case datalog.TermInt:
+			preds = append(preds, relstore.Pred{Col: i, Value: relstore.IntVal(term.Int)})
+		case datalog.TermString:
+			preds = append(preds, relstore.Pred{Col: i, Value: relstore.StrVal(term.Str)})
+		case datalog.TermWildcard:
+			// ignored position
+		case datalog.TermVar:
+			if j, dup := firstPos[term.Var]; dup {
+				equalities = append(equalities, [2]int{j, i})
+				continue
+			}
+			firstPos[term.Var] = i
+			cols = append(cols, i)
+			names = append(names, term.Var)
+		}
+	}
+	if len(equalities) == 0 {
+		return relstore.Scan(t, preds, cols, names)
+	}
+	// Repeated variable within the atom: scan wide, filter, then project.
+	all := make([]int, len(t.Cols))
+	wide := make([]string, len(t.Cols))
+	for i := range t.Cols {
+		all[i] = i
+		wide[i] = fmt.Sprintf("#%d", i)
+	}
+	raw, err := relstore.Scan(t, preds, all, wide)
+	if err != nil {
+		return nil, err
+	}
+	out := &relstore.Rel{Cols: names}
+rows:
+	for _, row := range raw.Rows {
+		for _, eq := range equalities {
+			if !row[eq[0]].Equal(row[eq[1]]) {
+				continue rows
+			}
+		}
+		proj := make([]relstore.Value, len(cols))
+		for k, c := range cols {
+			proj[k] = row[c]
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+// Package extract implements GraphGen's extraction planner and executor
+// (Sections 3.3 and 4.2): it translates a parsed Datalog program into
+// relational queries against the relstore substrate, decides per join
+// whether to hand it to the database or to postpone it behind virtual nodes
+// (the large-output test), and materializes the condensed in-memory graph.
+package extract
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graphgen/internal/core"
+	"graphgen/internal/datalog"
+	"graphgen/internal/relstore"
+)
+
+// Options tunes extraction.
+type Options struct {
+	// LargeOutputFactor is the planner threshold: a join on attribute a
+	// with distinct count d is large-output when |R||S|/d >
+	// factor*(|R|+|S|). The paper uses 2 (Section 4.2, Step 2).
+	LargeOutputFactor float64
+	// ForceCondensed treats every join as large-output; ForceExpand hands
+	// every join to the database (full expansion). Both are primarily for
+	// experiments comparing the representations.
+	ForceCondensed bool
+	ForceExpand    bool
+	// MaxEdges aborts extraction with core.ErrTooLarge when the graph
+	// (expanded edges for Case 2 / EXP paths) exceeds the budget;
+	// 0 disables the guard.
+	MaxEdges int64
+	// SkipPreprocess disables the Step-6 virtual-node expansion pass;
+	// the paper's representation experiments do the same (Section 6.5).
+	SkipPreprocess bool
+	// AutoExpandFactor > 0 expands the final graph when the expanded
+	// edge count is at most this multiple of the condensed edge count
+	// (the paper suggests 1.2); 0 disables.
+	AutoExpandFactor float64
+	// SelfLoops keeps logical self edges in the extracted graph.
+	SelfLoops bool
+	// Workers bounds preprocessing parallelism.
+	Workers int
+}
+
+// DefaultOptions mirror the paper's settings.
+func DefaultOptions() Options {
+	return Options{LargeOutputFactor: 2}
+}
+
+// Stats describes what extraction did.
+type Stats struct {
+	RealNodes    int
+	VirtualNodes int
+	RepEdges     int64
+	// LargeOutputJoins is the number of joins postponed behind virtual
+	// nodes; DatabaseJoins were executed by the relational substrate.
+	LargeOutputJoins int
+	DatabaseJoins    int
+	// Case2Rules counts Edges rules that fell back to full expansion.
+	Case2Rules int
+	// SkippedRows counts edge rows referencing IDs absent from Nodes.
+	SkippedRows int64
+	// PreprocessExpanded is the number of virtual nodes inlined by the
+	// Step-6 pass.
+	PreprocessExpanded int
+	Duration           time.Duration
+}
+
+// Result bundles the extracted graph with its statistics.
+type Result struct {
+	Graph *core.Graph
+	Stats Stats
+}
+
+// Extract runs the extraction program against the database and returns the
+// in-memory graph, condensed wherever the planner postponed a large-output
+// join (the graph is C-DUP mode; convert with internal/dedup as needed).
+func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.LargeOutputFactor <= 0 {
+		opts.LargeOutputFactor = 2
+	}
+	g := core.New(core.CDUP)
+	g.SelfLoops = opts.SelfLoops
+	res := &Result{Graph: g}
+
+	// Step 1: Nodes statements.
+	for _, rule := range prog.Nodes {
+		if err := loadNodes(db, g, rule); err != nil {
+			return nil, err
+		}
+	}
+	// Step 2-5: Edges statements.
+	symmetric := true
+	for _, rule := range prog.Edges {
+		chain, err := datalog.AnalyzeChain(rule)
+		if err != nil {
+			// Case 2: evaluate the full join and load direct edges.
+			res.Stats.Case2Rules++
+			symmetric = false
+			if err := loadEdgesExpanded(db, g, rule, opts, &res.Stats); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !chainSymmetric(chain) {
+			symmetric = false
+		}
+		if err := loadEdgesChain(db, g, chain, opts, &res.Stats); err != nil {
+			return nil, err
+		}
+	}
+	g.Symmetric = symmetric
+	g.SortAdjacency()
+
+	// Step 6: preprocessing.
+	if !opts.SkipPreprocess {
+		res.Stats.PreprocessExpanded = g.PreprocessExpandSmall(opts.Workers)
+	}
+	if opts.AutoExpandFactor > 0 && g.NumVirtualNodes() > 0 {
+		rep := g.RepEdges()
+		exp := g.ExpandedEdgeCount()
+		if rep == 0 || float64(exp) <= opts.AutoExpandFactor*float64(rep) {
+			ng, err := g.Expand(opts.MaxEdges)
+			if err == nil {
+				ng.Symmetric = g.Symmetric
+				g = ng
+				res.Graph = g
+			}
+		}
+	}
+	res.Stats.RealNodes = g.NumRealNodes()
+	res.Stats.VirtualNodes = g.NumVirtualNodes()
+	res.Stats.RepEdges = g.RepEdges()
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// loadNodes evaluates one Nodes rule and adds the result as real nodes with
+// properties named after the head variables.
+func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule) error {
+	var outVars []string
+	for _, t := range rule.Head.Terms {
+		if t.Kind != datalog.TermVar {
+			return fmt.Errorf("extract: Nodes head terms must be variables: %s", rule.Head)
+		}
+		outVars = append(outVars, t.Var)
+	}
+	rel, err := evalConjunctive(db, rule.Body, outVars, true)
+	if err != nil {
+		return err
+	}
+	for _, row := range rel.Rows {
+		if row[0].T != relstore.Int {
+			return fmt.Errorf("extract: node ID attribute must be an integer column (rule %s)", rule.Head)
+		}
+		r := g.AddRealNode(row[0].I)
+		for i := 1; i < len(row); i++ {
+			g.SetProperty(r, outVars[i], row[i].String())
+		}
+	}
+	return nil
+}
+
+// loadEdgesExpanded evaluates a Case 2 rule fully and adds direct edges.
+func loadEdgesExpanded(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options, st *Stats) error {
+	id1 := rule.Head.Terms[0].Var
+	id2 := rule.Head.Terms[1].Var
+	rel, err := evalConjunctive(db, rule.Body, []string{id1, id2}, true)
+	if err != nil {
+		return err
+	}
+	st.DatabaseJoins += len(rule.Body) - 1
+	var count int64
+	for _, row := range rel.Rows {
+		u, okU := g.RealIndex(row[0].I)
+		v, okV := g.RealIndex(row[1].I)
+		if !okU || !okV {
+			st.SkippedRows++
+			continue
+		}
+		g.AddDirectEdgeIdx(u, v)
+		count++
+		if opts.MaxEdges > 0 && count > opts.MaxEdges {
+			return core.ErrTooLarge
+		}
+	}
+	return nil
+}
+
+// chainSymmetric reports whether a chain is its own mirror image, which
+// makes the extracted graph undirected (e.g. the co-authors query, whose
+// two halves scan the same table with swapped roles).
+func chainSymmetric(c *Chain) bool {
+	n := len(c.Steps)
+	for i := 0; i < n; i++ {
+		a := c.Steps[i]
+		b := c.Steps[n-1-i]
+		if !strings.EqualFold(a.Atom.Pred, b.Atom.Pred) {
+			return false
+		}
+		ai, _ := a.Atom.TermIndex(a.InVar)
+		ao, _ := a.Atom.TermIndex(a.OutVar)
+		bi, _ := b.Atom.TermIndex(b.InVar)
+		bo, _ := b.Atom.TermIndex(b.OutVar)
+		if ai != bo || ao != bi {
+			return false
+		}
+	}
+	return true
+}
+
+// Chain re-exports the analyzed chain type for local signatures.
+type Chain = datalog.Chain

@@ -1,0 +1,99 @@
+// Package graphapi defines the graph interface exposed by every GraphGen
+// in-memory representation: the seven operations of the paper's Java Graph
+// API (Section 3.4) plus the iterator contract used by getNeighbors.
+package graphapi
+
+// NodeID is the external identifier of a real node. It is the value that the
+// Nodes(ID, ...) statement of an extraction query bound to the ID attribute.
+type NodeID = int64
+
+// Iterator yields node IDs one at a time. It mirrors the paper's neighbor
+// iterator with hasNext()/next(); in Go the pair collapses into Next.
+type Iterator interface {
+	// Next returns the next node ID. ok is false when the iterator is
+	// exhausted, in which case the id value is meaningless.
+	Next() (id NodeID, ok bool)
+}
+
+// Graph is the representation-independent API. All five in-memory
+// representations (C-DUP, EXP, DEDUP-1, DEDUP-2, BITMAP) implement it.
+//
+// Neighbors must yield each logical out-neighbor exactly once regardless of
+// how many paths the underlying representation contains (this is the
+// deduplication contract of Section 4.1).
+type Graph interface {
+	// Vertices returns an iterator over all live real vertices.
+	Vertices() Iterator
+	// Neighbors returns an iterator over the logical out-neighbors of v.
+	// Iterating a deleted or unknown vertex yields an empty iterator.
+	Neighbors(v NodeID) Iterator
+	// ExistsEdge reports whether the logical edge u -> v exists.
+	ExistsEdge(u, v NodeID) bool
+	// AddVertex adds a new isolated real vertex. It is an error if the ID
+	// is already present.
+	AddVertex(v NodeID) error
+	// DeleteVertex logically removes a vertex and all its edges. Physical
+	// compaction is deferred (lazy deletion, Section 3.4).
+	DeleteVertex(v NodeID) error
+	// AddEdge adds the logical edge u -> v (as a direct edge).
+	AddEdge(u, v NodeID) error
+	// DeleteEdge removes the logical edge u -> v, preserving all other
+	// logical edges even when the edge is represented through shared
+	// virtual nodes.
+	DeleteEdge(u, v NodeID) error
+	// NumVertices returns the number of live real vertices.
+	NumVertices() int
+}
+
+// PropertyGraph is implemented by representations that carry vertex
+// properties extracted from non-ID attributes of Nodes statements.
+type PropertyGraph interface {
+	Graph
+	// PropertyOf returns the named property of vertex v.
+	PropertyOf(v NodeID, key string) (string, bool)
+	// SetPropertyOf sets the named property of vertex v.
+	SetPropertyOf(v NodeID, key, value string) error
+}
+
+// SliceIterator adapts a slice of IDs to the Iterator interface.
+type SliceIterator struct {
+	ids []NodeID
+	pos int
+}
+
+// NewSliceIterator returns an Iterator over ids.
+func NewSliceIterator(ids []NodeID) *SliceIterator { return &SliceIterator{ids: ids} }
+
+// Next implements Iterator.
+func (it *SliceIterator) Next() (NodeID, bool) {
+	if it.pos >= len(it.ids) {
+		return 0, false
+	}
+	id := it.ids[it.pos]
+	it.pos++
+	return id, true
+}
+
+// ToList drains an iterator into a slice, mirroring the paper's
+// getNeighbors(v).toList convenience.
+func ToList(it Iterator) []NodeID {
+	var out []NodeID
+	for {
+		id, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+// Count drains an iterator and returns the number of elements.
+func Count(it Iterator) int {
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

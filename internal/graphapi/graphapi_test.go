@@ -1,0 +1,40 @@
+package graphapi
+
+import "testing"
+
+func TestSliceIterator(t *testing.T) {
+	it := NewSliceIterator([]NodeID{3, 1, 2})
+	var got []NodeID
+	for {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, id)
+	}
+	if len(got) != 3 || got[0] != 3 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("exhausted iterator yielded a value")
+	}
+}
+
+func TestSliceIteratorEmpty(t *testing.T) {
+	it := NewSliceIterator(nil)
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty iterator yielded a value")
+	}
+}
+
+func TestToListAndCount(t *testing.T) {
+	if got := ToList(NewSliceIterator([]NodeID{5, 6})); len(got) != 2 {
+		t.Fatalf("ToList = %v", got)
+	}
+	if got := Count(NewSliceIterator([]NodeID{5, 6, 7})); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := Count(NewSliceIterator(nil)); got != 0 {
+		t.Fatalf("Count(empty) = %d", got)
+	}
+}

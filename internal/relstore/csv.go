@@ -1,0 +1,86 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV creates a table from CSV data. The first record is the header;
+// column types are inferred from the first data row (integer-parseable
+// values become Int columns, everything else String). Subsequent rows must
+// conform: an Int column with a non-integer value is an error.
+func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relstore: %s: reading CSV header: %w", name, err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("relstore: %s: empty CSV header", name)
+	}
+	first, err := cr.Read()
+	if err == io.EOF {
+		// Header-only file: default every column to String.
+		cols := make([]Column, len(header))
+		for i, h := range header {
+			cols[i] = Column{Name: strings.TrimSpace(h), Type: String}
+		}
+		return db.Create(name, cols...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relstore: %s: reading first CSV row: %w", name, err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		typ := String
+		if i < len(first) {
+			if _, err := strconv.ParseInt(strings.TrimSpace(first[i]), 10, 64); err == nil {
+				typ = Int
+			}
+		}
+		cols[i] = Column{Name: strings.TrimSpace(h), Type: typ}
+	}
+	t, err := db.Create(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	insert := func(record []string, line int) error {
+		if len(record) != len(cols) {
+			return fmt.Errorf("relstore: %s: CSV row %d has %d fields, want %d", name, line, len(record), len(cols))
+		}
+		row := make([]Value, len(cols))
+		for i, field := range record {
+			field = strings.TrimSpace(field)
+			if cols[i].Type == Int {
+				n, err := strconv.ParseInt(field, 10, 64)
+				if err != nil {
+					return fmt.Errorf("relstore: %s: CSV row %d column %q: %w", name, line, cols[i].Name, err)
+				}
+				row[i] = IntVal(n)
+			} else {
+				row[i] = StrVal(field)
+			}
+		}
+		return t.Insert(row...)
+	}
+	if err := insert(first, 2); err != nil {
+		return nil, err
+	}
+	for line := 3; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: %s: CSV row %d: %w", name, line, err)
+		}
+		if err := insert(record, line); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

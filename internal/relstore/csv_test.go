@@ -1,0 +1,76 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	db := NewDB()
+	src := "id,name,age\n1,ann,30\n2,bob,41\n"
+	tbl, err := db.LoadCSV("People", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Cols[0].Type != Int || tbl.Cols[1].Type != String || tbl.Cols[2].Type != Int {
+		t.Fatalf("inferred types wrong: %+v", tbl.Cols)
+	}
+	if d, _ := tbl.NDistinct("id"); d != 2 {
+		t.Fatalf("NDistinct(id) = %d", d)
+	}
+	// The table is registered in the database.
+	if _, err := db.Table("people"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSVHeaderOnly(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.LoadCSV("Empty", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 || len(tbl.Cols) != 2 {
+		t.Fatalf("tbl = %+v", tbl)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"short row", "a,b\n1\n"},
+		{"bad int later", "a\n1\nxyz\n"},
+	}
+	for _, c := range cases {
+		db := NewDB()
+		if _, err := db.LoadCSV("T", strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Duplicate table name.
+	db := NewDB()
+	if _, err := db.LoadCSV("T", strings.NewReader("a\n1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadCSV("T", strings.NewReader("a\n1\n")); err == nil {
+		t.Error("expected duplicate-table error")
+	}
+}
+
+func TestLoadCSVEndToEnd(t *testing.T) {
+	// CSV in, graph out: the adoption path for real data.
+	db := NewDB()
+	if _, err := db.LoadCSV("Author", strings.NewReader("id,name\n1,ann\n2,bob\n3,cat\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadCSV("AuthorPub", strings.NewReader("aid,pid\n1,10\n2,10\n3,11\n1,11\n")); err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := db.Table("AuthorPub")
+	if d, _ := ap.NDistinct("pid"); d != 2 {
+		t.Fatalf("NDistinct(pid) = %d", d)
+	}
+}

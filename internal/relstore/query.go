@@ -1,0 +1,229 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rel is a materialized intermediate relation produced by the operators
+// below. Column names are caller-assigned (usually Datalog variable names).
+type Rel struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// ColIndex returns the index of the named column in the relation.
+func (r *Rel) ColIndex(name string) (int, bool) {
+	for i, c := range r.Cols {
+		if strings.EqualFold(c, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Pred is a selection predicate: column index = constant.
+type Pred struct {
+	Col   int
+	Value Value
+}
+
+// Scan reads a table, applies equality predicates, and projects the listed
+// column indexes under the given output names.
+func Scan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
+	if len(cols) != len(names) {
+		return nil, fmt.Errorf("relstore: scan of %s: %d cols, %d names", t.Name, len(cols), len(names))
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.Cols) {
+			return nil, fmt.Errorf("relstore: scan of %s: column %d out of range", t.Name, c)
+		}
+	}
+	out := &Rel{Cols: append([]string(nil), names...)}
+rows:
+	for _, row := range t.Rows {
+		for _, p := range preds {
+			if !row[p.Col].Equal(p.Value) {
+				continue rows
+			}
+		}
+		proj := make([]Value, len(cols))
+		for i, c := range cols {
+			proj[i] = row[c]
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+// HashJoin equi-joins a and b on the named columns and returns the
+// concatenation of a's columns with b's columns minus the join column
+// (which is kept once, from a). This is the classic build/probe hash join.
+func HashJoin(a, b *Rel, aCol, bCol string) (*Rel, error) {
+	ai, ok := a.ColIndex(aCol)
+	if !ok {
+		return nil, fmt.Errorf("relstore: join column %q not in left relation %v", aCol, a.Cols)
+	}
+	bi, ok := b.ColIndex(bCol)
+	if !ok {
+		return nil, fmt.Errorf("relstore: join column %q not in right relation %v", bCol, b.Cols)
+	}
+	// Build on the smaller side.
+	if len(b.Rows) < len(a.Rows) {
+		swapped, err := HashJoin(b, a, bCol, aCol)
+		if err != nil {
+			return nil, err
+		}
+		return swapped, nil
+	}
+	build := make(map[string][][]Value, len(a.Rows))
+	for _, row := range a.Rows {
+		k := hashKey(row[ai])
+		build[k] = append(build[k], row)
+	}
+	out := &Rel{Cols: append([]string(nil), a.Cols...)}
+	for i, c := range b.Cols {
+		if i == bi {
+			continue
+		}
+		out.Cols = append(out.Cols, c)
+	}
+	for _, brow := range b.Rows {
+		for _, arow := range build[hashKey(brow[bi])] {
+			if !arow[ai].Equal(brow[bi]) {
+				continue
+			}
+			joined := make([]Value, 0, len(out.Cols))
+			joined = append(joined, arow...)
+			for i, v := range brow {
+				if i == bi {
+					continue
+				}
+				joined = append(joined, v)
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	return out, nil
+}
+
+func hashKey(v Value) string {
+	if v.T == Int {
+		return fmt.Sprintf("i%d", v.I)
+	}
+	return "s" + v.S
+}
+
+// Project returns the relation restricted to the named columns, optionally
+// removing duplicate rows (SELECT DISTINCT).
+func Project(r *Rel, cols []string, distinct bool) (*Rel, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, ok := r.ColIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("relstore: project: column %q not in %v", c, r.Cols)
+		}
+		idx[i] = j
+	}
+	out := &Rel{Cols: append([]string(nil), cols...)}
+	var seen map[string]struct{}
+	if distinct {
+		seen = make(map[string]struct{}, len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		proj := make([]Value, len(idx))
+		var key strings.Builder
+		for i, j := range idx {
+			proj[i] = row[j]
+			if distinct {
+				key.WriteString(hashKey(row[j]))
+				key.WriteByte('|')
+			}
+		}
+		if distinct {
+			k := key.String()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+// MultiJoin equi-joins a and b on all listed shared column names (a
+// composite key). The output has a's columns followed by b's columns minus
+// the shared ones.
+func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
+	ai := make([]int, len(shared))
+	bi := make([]int, len(shared))
+	bShared := make(map[int]bool, len(shared))
+	for k, c := range shared {
+		i, ok := a.ColIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("relstore: join column %q not in left relation %v", c, a.Cols)
+		}
+		j, ok := b.ColIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("relstore: join column %q not in right relation %v", c, b.Cols)
+		}
+		ai[k], bi[k] = i, j
+		bShared[j] = true
+	}
+	key := func(row []Value, idx []int) string {
+		var sb strings.Builder
+		for _, i := range idx {
+			sb.WriteString(hashKey(row[i]))
+			sb.WriteByte('|')
+		}
+		return sb.String()
+	}
+	build := make(map[string][][]Value, len(a.Rows))
+	for _, row := range a.Rows {
+		k := key(row, ai)
+		build[k] = append(build[k], row)
+	}
+	out := &Rel{Cols: append([]string(nil), a.Cols...)}
+	for j, c := range b.Cols {
+		if !bShared[j] {
+			out.Cols = append(out.Cols, c)
+		}
+	}
+	for _, brow := range b.Rows {
+		for _, arow := range build[key(brow, bi)] {
+			joined := make([]Value, 0, len(out.Cols))
+			joined = append(joined, arow...)
+			for j, v := range brow {
+				if !bShared[j] {
+					joined = append(joined, v)
+				}
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	return out, nil
+}
+
+// EstimateJoinOutput estimates the output cardinality of an equi-join of the
+// two tables on the given attribute under the planner's uniformity
+// assumption: |R||S| / max(d_R, d_S), where d is the distinct count of the
+// join attribute.
+func EstimateJoinOutput(left *Table, leftCol string, right *Table, rightCol string) (int64, error) {
+	dl, err := left.NDistinct(leftCol)
+	if err != nil {
+		return 0, err
+	}
+	dr, err := right.NDistinct(rightCol)
+	if err != nil {
+		return 0, err
+	}
+	d := dl
+	if dr > d {
+		d = dr
+	}
+	if d == 0 {
+		return 0, nil
+	}
+	return int64(left.NumRows()) * int64(right.NumRows()) / int64(d), nil
+}

@@ -1,0 +1,184 @@
+// Package relstore is GraphGen's relational substrate: an in-memory
+// relational engine with typed tables, a statistics catalog, and the
+// handful of operators graph extraction needs (scan, selection, projection,
+// equi-join, distinct). It stands in for the PostgreSQL instance the paper
+// runs against; the extraction planner only needs cardinalities and
+// per-column distinct counts (pg_stats' n_distinct), which the catalog
+// provides exactly.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the type of a column.
+type Type uint8
+
+// Column types. Graph extraction joins on integer keys; string columns
+// carry node properties.
+const (
+	Int Type = iota
+	String
+)
+
+// Value is a single relational value: an int64 or a string.
+type Value struct {
+	I int64
+	S string
+	T Type
+}
+
+// IntVal returns an Int Value.
+func IntVal(i int64) Value { return Value{I: i, T: Int} }
+
+// StrVal returns a String Value.
+func StrVal(s string) Value { return Value{S: s, T: String} }
+
+// Equal reports whether two values are equal (same type and content).
+func (v Value) Equal(o Value) bool {
+	if v.T != o.T {
+		return false
+	}
+	if v.T == Int {
+		return v.I == o.I
+	}
+	return v.S == o.S
+}
+
+// String renders the value.
+func (v Value) String() string {
+	if v.T == Int {
+		return fmt.Sprintf("%d", v.I)
+	}
+	return v.S
+}
+
+// Column describes a table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table is a named relation with a fixed schema and row storage.
+type Table struct {
+	Name string
+	Cols []Column
+	Rows [][]Value
+
+	colIdx map[string]int
+	// stats
+	statsDirty bool
+	nDistinct  []int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, cols ...Column) *Table {
+	t := &Table{Name: name, Cols: cols, colIdx: make(map[string]int, len(cols)), statsDirty: true}
+	for i, c := range cols {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return t
+}
+
+// ColIndex returns the index of the named column.
+func (t *Table) ColIndex(name string) (int, bool) {
+	i, ok := t.colIdx[strings.ToLower(name)]
+	return i, ok
+}
+
+// Insert appends a row. The row must match the schema arity; types are
+// trusted (the generators construct well-typed rows).
+func (t *Table) Insert(row ...Value) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("relstore: %s: row arity %d, schema arity %d", t.Name, len(row), len(t.Cols))
+	}
+	t.Rows = append(t.Rows, row)
+	t.statsDirty = true
+	return nil
+}
+
+// NumRows returns the table cardinality.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// analyze recomputes per-column distinct counts (the catalog statistics the
+// planner consults, PostgreSQL's pg_stats.n_distinct).
+func (t *Table) analyze() {
+	t.nDistinct = make([]int, len(t.Cols))
+	for c := range t.Cols {
+		if t.Cols[c].Type == Int {
+			seen := make(map[int64]struct{}, len(t.Rows))
+			for _, r := range t.Rows {
+				seen[r[c].I] = struct{}{}
+			}
+			t.nDistinct[c] = len(seen)
+		} else {
+			seen := make(map[string]struct{}, len(t.Rows))
+			for _, r := range t.Rows {
+				seen[r[c].S] = struct{}{}
+			}
+			t.nDistinct[c] = len(seen)
+		}
+	}
+	t.statsDirty = false
+}
+
+// NDistinct returns the number of distinct values in the named column.
+func (t *Table) NDistinct(col string) (int, error) {
+	i, ok := t.ColIndex(col)
+	if !ok {
+		return 0, fmt.Errorf("relstore: %s has no column %q", t.Name, col)
+	}
+	if t.statsDirty {
+		t.analyze()
+	}
+	return t.nDistinct[i], nil
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Create adds a new table to the database.
+func (db *DB) Create(name string, cols ...Column) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("relstore: table %q already exists", name)
+	}
+	t := NewTable(name, cols...)
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q not found", name)
+	}
+	return t, nil
+}
+
+// TableNames lists the tables in sorted order.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalRows returns the sum of all table cardinalities.
+func (db *DB) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += len(t.Rows)
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package relstore
+
+import "testing"
+
+func makeAuthors(t *testing.T) (*DB, *Table, *Table) {
+	t.Helper()
+	db := NewDB()
+	author, err := db.Create("Author", Column{"id", Int}, Column{"name", String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := db.Create("AuthorPub", Column{"aid", Int}, Column{"pid", Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"ann", "bob", "cat", "dan"} {
+		if err := author.Insert(IntVal(int64(i+1)), StrVal(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := [][2]int64{{1, 10}, {2, 10}, {3, 10}, {1, 20}, {4, 20}, {3, 30}}
+	for _, p := range pairs {
+		if err := ap.Insert(IntVal(p[0]), IntVal(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, author, ap
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	db, author, _ := makeAuthors(t)
+	if _, err := db.Create("Author", Column{"id", Int}); err == nil {
+		t.Fatal("expected duplicate-table error")
+	}
+	got, err := db.Table("author") // case-insensitive
+	if err != nil || got != author {
+		t.Fatalf("Table lookup failed: %v", err)
+	}
+	if _, err := db.Table("nope"); err == nil {
+		t.Fatal("expected missing-table error")
+	}
+	if names := db.TableNames(); len(names) != 2 || names[0] != "Author" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if db.TotalRows() != 10 {
+		t.Fatalf("TotalRows = %d, want 10", db.TotalRows())
+	}
+}
+
+func TestInsertArity(t *testing.T) {
+	_, author, _ := makeAuthors(t)
+	if err := author.Insert(IntVal(9)); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestNDistinct(t *testing.T) {
+	_, author, ap := makeAuthors(t)
+	if d, err := author.NDistinct("id"); err != nil || d != 4 {
+		t.Fatalf("NDistinct(id) = %d, %v", d, err)
+	}
+	if d, err := ap.NDistinct("pid"); err != nil || d != 3 {
+		t.Fatalf("NDistinct(pid) = %d, %v", d, err)
+	}
+	if d, err := ap.NDistinct("aid"); err != nil || d != 4 {
+		t.Fatalf("NDistinct(aid) = %d, %v", d, err)
+	}
+	if _, err := ap.NDistinct("nope"); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+	// Stats refresh after inserts.
+	if err := ap.Insert(IntVal(2), IntVal(40)); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := ap.NDistinct("pid"); d != 4 {
+		t.Fatalf("stale stats: NDistinct(pid) = %d, want 4", d)
+	}
+}
+
+func TestScanWithPredicates(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	rel, err := Scan(ap, []Pred{{Col: 1, Value: IntVal(10)}}, []int{0}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rel.Rows))
+	}
+	if _, err := Scan(ap, nil, []int{5}, []string{"x"}); err == nil {
+		t.Fatal("expected out-of-range column error")
+	}
+	if _, err := Scan(ap, nil, []int{0, 1}, []string{"x"}); err == nil {
+		t.Fatal("expected arity mismatch error")
+	}
+}
+
+func TestHashJoinSelfJoin(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	left, _ := Scan(ap, nil, []int{0, 1}, []string{"a1", "p"})
+	right, _ := Scan(ap, nil, []int{0, 1}, []string{"a2", "p"})
+	joined, err := HashJoin(left, right, "p", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pid 10 has 3 authors -> 9 pairs; pid 20 has 2 -> 4; pid 30 has 1 -> 1.
+	if len(joined.Rows) != 14 {
+		t.Fatalf("join rows = %d, want 14", len(joined.Rows))
+	}
+	if _, err := HashJoin(left, right, "nope", "p"); err == nil {
+		t.Fatal("expected missing join column error")
+	}
+}
+
+func TestMultiJoinCompositeKey(t *testing.T) {
+	a := &Rel{Cols: []string{"x", "y", "v"}, Rows: [][]Value{
+		{IntVal(1), IntVal(1), StrVal("a")},
+		{IntVal(1), IntVal(2), StrVal("b")},
+	}}
+	b := &Rel{Cols: []string{"x", "y", "w"}, Rows: [][]Value{
+		{IntVal(1), IntVal(1), StrVal("p")},
+		{IntVal(1), IntVal(2), StrVal("q")},
+		{IntVal(2), IntVal(1), StrVal("r")},
+	}}
+	j, err := MultiJoin(a, b, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 2 {
+		t.Fatalf("composite join rows = %d, want 2", len(j.Rows))
+	}
+	if len(j.Cols) != 4 { // x, y, v, w
+		t.Fatalf("cols = %v", j.Cols)
+	}
+}
+
+func TestProjectDistinct(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	rel, _ := Scan(ap, nil, []int{1}, []string{"p"})
+	d, err := Project(rel, []string{"p"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 3 {
+		t.Fatalf("distinct rows = %d, want 3", len(d.Rows))
+	}
+	nd, _ := Project(rel, []string{"p"}, false)
+	if len(nd.Rows) != 6 {
+		t.Fatalf("non-distinct rows = %d, want 6", len(nd.Rows))
+	}
+	if _, err := Project(rel, []string{"zzz"}, true); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+}
+
+func TestEstimateJoinOutput(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	est, err := EstimateJoinOutput(ap, "pid", ap, "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6*6/3 = 12 under uniformity.
+	if est != 12 {
+		t.Fatalf("estimate = %d, want 12", est)
+	}
+}
+
+func TestValueStringAndEqual(t *testing.T) {
+	if IntVal(3).Equal(StrVal("3")) {
+		t.Fatal("cross-type values must not be equal")
+	}
+	if IntVal(3).String() != "3" || StrVal("x").String() != "x" {
+		t.Fatal("String rendering wrong")
+	}
+	if !IntVal(-5).Equal(IntVal(-5)) || !StrVal("a").Equal(StrVal("a")) {
+		t.Fatal("Equal broken")
+	}
+}

@@ -1,0 +1,91 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"graphgen/internal/core"
+	"graphgen/internal/datagen"
+)
+
+func sample() *core.Graph {
+	return datagen.Condensed(datagen.CondensedConfig{
+		Seed: 5, RealNodes: 20, VirtualNodes: 8, MeanSize: 4, StdDev: 1,
+	})
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.EdgeSetByID()
+	got := back.EdgeSetByID()
+	if len(want) != len(got) {
+		t.Fatalf("edges: wrote %d, read %d", len(want), len(got))
+	}
+	for e := range want {
+		if _, ok := got[e]; !ok {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestEdgeListDeterministic(t *testing.T) {
+	g := sample()
+	var a, b bytes.Buffer
+	WriteEdgeList(&a, g)
+	WriteEdgeList(&b, g)
+	if a.String() != b.String() {
+		t.Fatal("edge list serialization is not deterministic")
+	}
+}
+
+func TestEdgeListCommentsAndErrors(t *testing.T) {
+	in := "# comment\n1 2\n\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.EdgeSetByID()) != 2 {
+		t.Fatalf("edges = %d, want 2", len(g.EdgeSetByID()))
+	}
+	if _, err := ReadEdgeList(strings.NewReader("not numbers\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	g := core.New(core.CDUP)
+	g.Symmetric = true
+	a := g.AddRealNode(1)
+	g.AddRealNode(2)
+	g.SetProperty(a, "Name", "ann")
+	v := g.AddVirtualNode(1)
+	g.AddMember(v, 0)
+	g.AddMember(v, 1)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONGraph
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Directed {
+		t.Fatal("symmetric graph marked directed")
+	}
+	if len(doc.Nodes) != 2 || len(doc.Edges) != 2 {
+		t.Fatalf("nodes=%d edges=%d", len(doc.Nodes), len(doc.Edges))
+	}
+	if doc.Nodes[0].Props["Name"] != "ann" {
+		t.Fatalf("props lost: %+v", doc.Nodes[0])
+	}
+}

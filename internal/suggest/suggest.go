@@ -1,0 +1,322 @@
+// Package suggest proposes candidate graph-extraction queries for a
+// relational schema. The paper's introduction observes that "identifying
+// potentially interesting graphs itself may be difficult for large schemas
+// with 100s of tables"; the companion demo system (Xirogiannopoulos et al.,
+// VLDB'15) auto-proposes hidden graphs, and this package reproduces that
+// capability over the relstore catalog.
+//
+// Heuristics:
+//
+//   - a table whose first column is (nearly) unique is an entity table;
+//   - a two-plus-column table whose column A references entity table E (by
+//     containment of its values) is a membership/link table;
+//   - every membership table (E via A, grouping column B) yields a
+//     co-membership query connecting E-entities sharing a B value;
+//   - two membership tables sharing a grouping domain yield a bipartite
+//     query between their entity tables;
+//   - each proposal carries the planner's size estimate so callers can
+//     rank by expected graph density.
+package suggest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphgen/internal/relstore"
+)
+
+// Proposal is one suggested extraction query.
+type Proposal struct {
+	// Description summarizes the graph in words.
+	Description string
+	// Query is the ready-to-run DSL program.
+	Query string
+	// Kind is "co-membership" or "bipartite".
+	Kind string
+	// EstimatedEdges is the planner-style output estimate of the edge
+	// join (|R||S|/d); large values signal dense hidden graphs.
+	EstimatedEdges int64
+	// EntityTables names the node tables involved.
+	EntityTables []string
+}
+
+// entity describes a detected entity table.
+type entity struct {
+	table   *relstore.Table
+	idCol   int
+	nameCol int // -1 if none
+}
+
+// membership describes a detected membership table: entityCol references
+// an entity table; groupCol is the grouping attribute. groups records
+// whether the grouping column actually repeats values — co-membership
+// queries need it, but a bipartite link only needs repetition on one side
+// (e.g. one instructor teaches a course that many students take).
+type membership struct {
+	table     *relstore.Table
+	entityCol int
+	groupCol  int
+	entity    *entity
+	groups    bool
+}
+
+// Propose analyzes the database and returns ranked graph proposals.
+func Propose(db *relstore.DB) ([]Proposal, error) {
+	entities, err := findEntities(db)
+	if err != nil {
+		return nil, err
+	}
+	memberships, err := findMemberships(db, entities)
+	if err != nil {
+		return nil, err
+	}
+	var out []Proposal
+	// Co-membership proposals (the grouping column must repeat, or the
+	// resulting graph has no edges).
+	for _, m := range memberships {
+		if !m.groups {
+			continue
+		}
+		p, err := coMembershipProposal(m)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	// Bipartite proposals: membership pairs sharing a grouping domain;
+	// repetition on one side suffices.
+	for i, a := range memberships {
+		for _, b := range memberships[i+1:] {
+			if a.table == b.table || a.entity.table == b.entity.table {
+				continue
+			}
+			if !a.groups && !b.groups {
+				continue
+			}
+			if !sameDomain(a.table, a.groupCol, b.table, b.groupCol) {
+				continue
+			}
+			p, err := bipartiteProposal(a, b)
+			if err != nil {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstimatedEdges != out[j].EstimatedEdges {
+			return out[i].EstimatedEdges > out[j].EstimatedEdges
+		}
+		return out[i].Description < out[j].Description
+	})
+	return out, nil
+}
+
+// findEntities detects entity tables: first column integer and (nearly)
+// unique.
+func findEntities(db *relstore.DB) (map[string]*entity, error) {
+	out := make(map[string]*entity)
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(t.Cols) == 0 || t.Cols[0].Type != relstore.Int || t.NumRows() == 0 {
+			continue
+		}
+		d, err := t.NDistinct(t.Cols[0].Name)
+		if err != nil {
+			return nil, err
+		}
+		if float64(d) < 0.99*float64(t.NumRows()) {
+			continue
+		}
+		e := &entity{table: t, idCol: 0, nameCol: -1}
+		for i, c := range t.Cols[1:] {
+			if c.Type == relstore.String {
+				e.nameCol = i + 1
+				break
+			}
+		}
+		out[strings.ToLower(name)] = e
+	}
+	return out, nil
+}
+
+// findMemberships detects membership tables: integer column pairs where one
+// column's values live inside an entity table's ID column and the other
+// column groups (non-unique).
+func findMemberships(db *relstore.DB, entities map[string]*entity) ([]membership, error) {
+	var out []membership
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, isEntity := entities[strings.ToLower(name)]; isEntity {
+			continue
+		}
+		if t.NumRows() == 0 {
+			continue
+		}
+		for ci := range t.Cols {
+			if t.Cols[ci].Type != relstore.Int {
+				continue
+			}
+			ent := referencedEntity(t, ci, entities)
+			if ent == nil {
+				continue
+			}
+			for cj := range t.Cols {
+				if cj == ci || t.Cols[cj].Type != relstore.Int {
+					continue
+				}
+				d, err := t.NDistinct(t.Cols[cj].Name)
+				if err != nil || d == 0 {
+					continue
+				}
+				out = append(out, membership{
+					table: t, entityCol: ci, groupCol: cj, entity: ent,
+					groups: d < t.NumRows(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// referencedEntity returns the entity table whose ID domain contains the
+// column's values (sampled containment check).
+func referencedEntity(t *relstore.Table, col int, entities map[string]*entity) *entity {
+	for _, e := range entities {
+		if e.table == t {
+			continue
+		}
+		ids := make(map[int64]struct{}, e.table.NumRows())
+		for _, row := range e.table.Rows {
+			ids[row[e.idCol].I] = struct{}{}
+		}
+		ok := true
+		checked := 0
+		for _, row := range t.Rows {
+			if checked >= 64 {
+				break
+			}
+			checked++
+			if _, in := ids[row[col].I]; !in {
+				ok = false
+				break
+			}
+		}
+		if ok && checked > 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// sameDomain reports whether two grouping columns draw from overlapping
+// value domains (sampled).
+func sameDomain(a *relstore.Table, ac int, b *relstore.Table, bc int) bool {
+	if a.Cols[ac].Type != b.Cols[bc].Type {
+		return false
+	}
+	vals := make(map[int64]struct{})
+	for i, row := range a.Rows {
+		if i >= 256 {
+			break
+		}
+		vals[row[ac].I] = struct{}{}
+	}
+	hits := 0
+	for i, row := range b.Rows {
+		if i >= 256 {
+			break
+		}
+		if _, ok := vals[row[bc].I]; ok {
+			hits++
+		}
+	}
+	return hits > 0
+}
+
+func nodesStatement(e *entity) string {
+	if e.nameCol >= 0 {
+		return fmt.Sprintf("Nodes(ID, Name) :- %s(%s).", e.table.Name, headTerms(e))
+	}
+	return fmt.Sprintf("Nodes(ID) :- %s(%s).", e.table.Name, headTerms(e))
+}
+
+// headTerms renders positional terms for the entity table: ID at the id
+// column, Name at the name column, wildcards elsewhere.
+func headTerms(e *entity) string {
+	terms := make([]string, len(e.table.Cols))
+	for i := range terms {
+		switch i {
+		case e.idCol:
+			terms[i] = "ID"
+		case e.nameCol:
+			terms[i] = "Name"
+		default:
+			terms[i] = "_"
+		}
+	}
+	return strings.Join(terms, ", ")
+}
+
+// atomTerms renders a membership atom binding entity and group variables.
+func atomTerms(m membership, entityVar, groupVar string) string {
+	terms := make([]string, len(m.table.Cols))
+	for i := range terms {
+		switch i {
+		case m.entityCol:
+			terms[i] = entityVar
+		case m.groupCol:
+			terms[i] = groupVar
+		default:
+			terms[i] = "_"
+		}
+	}
+	return strings.Join(terms, ", ")
+}
+
+func coMembershipProposal(m membership) (Proposal, error) {
+	est, err := relstore.EstimateJoinOutput(m.table, m.table.Cols[m.groupCol].Name, m.table, m.table.Cols[m.groupCol].Name)
+	if err != nil {
+		return Proposal{}, err
+	}
+	query := fmt.Sprintf("%s\nEdges(ID1, ID2) :- %s(%s), %s(%s).\n",
+		nodesStatement(m.entity),
+		m.table.Name, atomTerms(m, "ID1", "G"),
+		m.table.Name, atomTerms(m, "ID2", "G"))
+	return Proposal{
+		Description: fmt.Sprintf("connect %s entities sharing %s.%s",
+			m.entity.table.Name, m.table.Name, m.table.Cols[m.groupCol].Name),
+		Query:          query,
+		Kind:           "co-membership",
+		EstimatedEdges: est,
+		EntityTables:   []string{m.entity.table.Name},
+	}, nil
+}
+
+func bipartiteProposal(a, b membership) (Proposal, error) {
+	est, err := relstore.EstimateJoinOutput(a.table, a.table.Cols[a.groupCol].Name, b.table, b.table.Cols[b.groupCol].Name)
+	if err != nil {
+		return Proposal{}, err
+	}
+	query := fmt.Sprintf("%s\n%s\nEdges(ID1, ID2) :- %s(%s), %s(%s).\n",
+		nodesStatement(a.entity), nodesStatement(b.entity),
+		a.table.Name, atomTerms(a, "ID1", "G"),
+		b.table.Name, atomTerms(b, "ID2", "G"))
+	return Proposal{
+		Description: fmt.Sprintf("bipartite %s -> %s via shared %s.%s/%s.%s",
+			a.entity.table.Name, b.entity.table.Name,
+			a.table.Name, a.table.Cols[a.groupCol].Name,
+			b.table.Name, b.table.Cols[b.groupCol].Name),
+		Query:          query,
+		Kind:           "bipartite",
+		EstimatedEdges: est,
+		EntityTables:   []string{a.entity.table.Name, b.entity.table.Name},
+	}, nil
+}

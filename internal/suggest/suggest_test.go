@@ -1,0 +1,112 @@
+package suggest
+
+import (
+	"strings"
+	"testing"
+
+	"graphgen/internal/datagen"
+	"graphgen/internal/datalog"
+	"graphgen/internal/extract"
+	"graphgen/internal/relstore"
+)
+
+func TestProposeDBLP(t *testing.T) {
+	db := datagen.DBLPLike(3, 200, 150)
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) == 0 {
+		t.Fatal("no proposals for the DBLP schema")
+	}
+	// The co-author graph must be among them.
+	found := false
+	for _, p := range props {
+		if p.Kind == "co-membership" && strings.Contains(p.Description, "Author") {
+			found = true
+			// The proposed query must parse AND extract.
+			prog, err := datalog.Parse(p.Query)
+			if err != nil {
+				t.Fatalf("proposed query does not parse: %v\n%s", err, p.Query)
+			}
+			opts := extract.DefaultOptions()
+			opts.SkipPreprocess = true
+			res, err := extract.Extract(db, prog, opts)
+			if err != nil {
+				t.Fatalf("proposed query does not extract: %v", err)
+			}
+			if res.Graph.LogicalEdges() == 0 {
+				t.Fatal("proposed co-author graph is empty")
+			}
+			if p.EstimatedEdges <= 0 {
+				t.Fatal("missing size estimate")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("co-author proposal missing; got %+v", props)
+	}
+}
+
+func TestProposeUniversityBipartite(t *testing.T) {
+	db := datagen.UnivLike(4, 80, 8, 15, 3)
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bip *Proposal
+	for i := range props {
+		if props[i].Kind == "bipartite" {
+			bip = &props[i]
+			break
+		}
+	}
+	if bip == nil {
+		t.Fatalf("no bipartite proposal between students and instructors; got %d proposals", len(props))
+	}
+	prog, err := datalog.Parse(bip.Query)
+	if err != nil {
+		t.Fatalf("bipartite query does not parse: %v\n%s", err, bip.Query)
+	}
+	opts := extract.DefaultOptions()
+	opts.SkipPreprocess = true
+	res, err := extract.Extract(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.LogicalEdges() == 0 {
+		t.Fatal("bipartite graph is empty")
+	}
+	if len(bip.EntityTables) != 2 {
+		t.Fatalf("entity tables = %v", bip.EntityTables)
+	}
+}
+
+func TestProposeRankedByEstimate(t *testing.T) {
+	db := datagen.TPCHLike(5, 40, 300, 8, 3)
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(props); i++ {
+		if props[i].EstimatedEdges > props[i-1].EstimatedEdges {
+			t.Fatalf("proposals not sorted by estimate: %d after %d",
+				props[i].EstimatedEdges, props[i-1].EstimatedEdges)
+		}
+	}
+}
+
+func TestProposeEmptyAndEntityOnly(t *testing.T) {
+	db := relstore.NewDB()
+	props, err := Propose(db)
+	if err != nil || len(props) != 0 {
+		t.Fatalf("empty db: %v, %d proposals", err, len(props))
+	}
+	// Entity table with no membership tables: nothing to propose.
+	tbl, _ := db.Create("Person", relstore.Column{Name: "id", Type: relstore.Int})
+	tbl.Insert(relstore.IntVal(1))
+	props, err = Propose(db)
+	if err != nil || len(props) != 0 {
+		t.Fatalf("entity-only db: %v, %d proposals", err, len(props))
+	}
+}

@@ -1,0 +1,246 @@
+// Package vertexcentric implements GraphGen's multi-threaded vertex-centric
+// framework (Section 3.4): a think-like-a-vertex execution model where a
+// user-provided Compute function runs for every vertex per superstep. As in
+// GraphLab's GAS model, vertices communicate by reading their neighbors'
+// values from the previous superstep directly instead of through explicit
+// message queues. A coordinator splits the vertices into chunks, distributes
+// them across workers, tracks the superstep counter, and terminates when
+// every vertex has voted to halt.
+package vertexcentric
+
+import (
+	"runtime"
+	"sync"
+
+	"graphgen/internal/core"
+)
+
+// Executor is the user-implemented compute kernel, mirroring the paper's
+// Executor interface with its single compute() method.
+type Executor interface {
+	Compute(ctx *Context)
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(ctx *Context)
+
+// Compute implements Executor.
+func (f ExecutorFunc) Compute(ctx *Context) { f(ctx) }
+
+// Options configures a run.
+type Options struct {
+	// Workers is the number of goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxSupersteps bounds the run; <= 0 means 10000.
+	MaxSupersteps int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Supersteps int
+	// Values holds the final per-vertex values (dense index).
+	Values []float64
+}
+
+// Context is the per-vertex view handed to Compute. It exposes the vertex's
+// value, its neighbors' previous-superstep values (GAS-style direct access),
+// and vote-to-halt control.
+type Context struct {
+	eng       *engine
+	v         int32
+	superstep int
+	halted    bool
+	changed   bool
+}
+
+// Vertex returns the dense index of the current vertex.
+func (c *Context) Vertex() int32 { return c.v }
+
+// VertexID returns the external ID of the current vertex.
+func (c *Context) VertexID() int64 { return c.eng.g.RealID(c.v) }
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.superstep }
+
+// NumVertices returns the number of live vertices.
+func (c *Context) NumVertices() int { return c.eng.n }
+
+// Value returns this vertex's value from the previous superstep.
+func (c *Context) Value() float64 { return c.eng.prev[c.v] }
+
+// SetValue sets this vertex's value for the next superstep.
+func (c *Context) SetValue(x float64) {
+	if c.eng.cur[c.v] != x {
+		c.changed = true
+	}
+	c.eng.cur[c.v] = x
+}
+
+// ChangedLastSuperstep reports whether any vertex value changed in the
+// previous superstep. It is the global aggregator fixed-point programs use
+// to decide termination: with direct neighbor access there are no messages
+// to wake a halted vertex, so convergence must be detected globally.
+func (c *Context) ChangedLastSuperstep() bool { return c.eng.prevChanged }
+
+// NeighborValue returns neighbor u's value from the previous superstep
+// (direct neighbor data access, as in the GAS model).
+func (c *Context) NeighborValue(u int32) float64 { return c.eng.prev[u] }
+
+// ForNeighbors iterates the logical out-neighbors of the vertex.
+func (c *Context) ForNeighbors(fn func(u int32) bool) { c.eng.g.ForNeighbors(c.v, fn) }
+
+// ForInNeighbors iterates the logical in-neighbors of the vertex.
+func (c *Context) ForInNeighbors(fn func(u int32) bool) { c.eng.g.ForInNeighbors(c.v, fn) }
+
+// Degree returns the logical out-degree of the vertex.
+func (c *Context) Degree() int { return c.eng.g.OutDegree(c.v) }
+
+// VoteToHalt deactivates the vertex; when every vertex has voted, the run
+// terminates.
+func (c *Context) VoteToHalt() { c.halted = true }
+
+type engine struct {
+	g           *core.Graph
+	n           int
+	prev        []float64
+	cur         []float64
+	prevChanged bool
+}
+
+// Run executes the vertex program until global quiescence. The value arrays
+// are double-buffered: Compute reads previous-superstep values and writes
+// next-superstep values, making each superstep deterministic regardless of
+// worker scheduling.
+func Run(g *core.Graph, exec Executor, opts Options) Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxSS := opts.MaxSupersteps
+	if maxSS <= 0 {
+		maxSS = 10000
+	}
+	slots := g.NumRealSlots()
+	eng := &engine{g: g, n: g.NumRealNodes(), prev: make([]float64, slots), cur: make([]float64, slots)}
+	var vertices []int32
+	g.ForEachReal(func(r int32) bool { vertices = append(vertices, r); return true })
+	halted := make([]bool, slots)
+
+	supersteps := 0
+	for ; supersteps < maxSS; supersteps++ {
+		copy(eng.cur, eng.prev)
+		activeAny := false
+		chunk := (len(vertices) + workers - 1) / workers
+		var wg sync.WaitGroup
+		activeByWorker := make([]bool, workers)
+		changedByWorker := make([]bool, workers)
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if lo >= len(vertices) {
+				break
+			}
+			if hi > len(vertices) {
+				hi = len(vertices)
+			}
+			wg.Add(1)
+			go func(w, lo, hi, ss int) {
+				defer wg.Done()
+				ctx := Context{eng: eng, superstep: ss}
+				for _, v := range vertices[lo:hi] {
+					if halted[v] {
+						continue
+					}
+					activeByWorker[w] = true
+					ctx.v = v
+					ctx.halted = false
+					ctx.changed = false
+					exec.Compute(&ctx)
+					if ctx.halted {
+						halted[v] = true
+					}
+					if ctx.changed {
+						changedByWorker[w] = true
+					}
+				}
+			}(w, lo, hi, supersteps)
+		}
+		wg.Wait()
+		changedAny := false
+		for w := range activeByWorker {
+			activeAny = activeAny || activeByWorker[w]
+			changedAny = changedAny || changedByWorker[w]
+		}
+		eng.prev, eng.cur = eng.cur, eng.prev
+		eng.prevChanged = changedAny
+		if !activeAny {
+			break
+		}
+	}
+	return Result{Supersteps: supersteps, Values: eng.prev}
+}
+
+// DegreeProgram computes each vertex's logical out-degree into its value.
+func DegreeProgram() Executor {
+	return ExecutorFunc(func(ctx *Context) {
+		ctx.SetValue(float64(ctx.Degree()))
+		ctx.VoteToHalt()
+	})
+}
+
+// PageRankProgram runs iters iterations of damped PageRank. Out-degrees are
+// precomputed and captured by the closure — the paper notes that on
+// condensed representations the degree is not available "for free" during
+// the superstep and must be precomputed as a vertex property.
+func PageRankProgram(g *core.Graph, iters int, damping float64) Executor {
+	deg := make([]float64, g.NumRealSlots())
+	g.ForEachReal(func(r int32) bool {
+		deg[r] = float64(g.OutDegree(r))
+		return true
+	})
+	n := float64(g.NumRealNodes())
+	return ExecutorFunc(func(ctx *Context) {
+		if ctx.Superstep() == 0 {
+			ctx.SetValue(1.0 / n)
+			return
+		}
+		sum := 0.0
+		ctx.ForInNeighbors(func(u int32) bool {
+			if deg[u] > 0 {
+				sum += ctx.NeighborValue(u) / deg[u]
+			}
+			return true
+		})
+		ctx.SetValue((1-damping)/n + damping*sum)
+		if ctx.Superstep() >= iters {
+			ctx.VoteToHalt()
+		}
+	})
+}
+
+// ComponentProgram computes weakly-connected-component labels by iterative
+// min-label propagation; it is duplicate-insensitive and therefore valid
+// even on raw C-DUP graphs. Termination is detected through the global
+// changed aggregator: every vertex halts together once a full superstep
+// passes with no label movement anywhere.
+func ComponentProgram() Executor {
+	return ExecutorFunc(func(ctx *Context) {
+		if ctx.Superstep() == 0 {
+			ctx.SetValue(float64(ctx.Vertex()))
+			return
+		}
+		if ctx.Superstep() > 1 && !ctx.ChangedLastSuperstep() {
+			ctx.VoteToHalt()
+			return
+		}
+		min := ctx.Value()
+		scan := func(u int32) bool {
+			if v := ctx.NeighborValue(u); v < min {
+				min = v
+			}
+			return true
+		}
+		ctx.ForNeighbors(scan)
+		ctx.ForInNeighbors(scan)
+		ctx.SetValue(min)
+	})
+}

@@ -1,0 +1,88 @@
+package vminer
+
+import (
+	"errors"
+	"testing"
+
+	"graphgen/internal/core"
+	"graphgen/internal/datagen"
+)
+
+func TestMinePreservesEdgesAndDeduplicates(t *testing.T) {
+	g := datagen.Condensed(datagen.CondensedConfig{
+		Seed: 3, RealNodes: 60, VirtualNodes: 25, MeanSize: 6, StdDev: 2,
+	})
+	mined, st, err := Mine(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.EdgeSetByID()
+	got := mined.EdgeSetByID()
+	if len(want) != len(got) {
+		t.Fatalf("edges = %d, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if _, ok := got[e]; !ok {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+	if err := mined.VerifyNoDuplicates(); err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpandedEdges == 0 {
+		t.Fatal("VMiner must report the expansion it was forced to do")
+	}
+}
+
+func TestMineFindsBicliques(t *testing.T) {
+	// A graph that is one big clique: mining must find structure.
+	g := core.New(core.CDUP)
+	g.Symmetric = true
+	for i := int64(1); i <= 20; i++ {
+		g.AddRealNode(i)
+	}
+	v := g.AddVirtualNode(1)
+	for r := int32(0); r < 20; r++ {
+		g.AddMember(v, r)
+	}
+	mined, st, err := Mine(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VirtualNodesCreated == 0 {
+		t.Fatal("no bicliques mined from a 20-clique")
+	}
+	if st.EdgesSaved <= 0 {
+		t.Fatalf("edges saved = %d, want > 0", st.EdgesSaved)
+	}
+	if mined.RepEdges() >= st.ExpandedEdges {
+		t.Fatalf("no compression: %d >= %d", mined.RepEdges(), st.ExpandedEdges)
+	}
+}
+
+func TestMineRespectsExpansionBudget(t *testing.T) {
+	g := datagen.Condensed(datagen.CondensedConfig{
+		Seed: 4, RealNodes: 50, VirtualNodes: 20, MeanSize: 8, StdDev: 2,
+	})
+	_, _, err := Mine(g, Options{MaxEdges: 5})
+	if !errors.Is(err, core.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge (VMiner must expand first)", err)
+	}
+}
+
+func TestMineWorseThanCondensedInput(t *testing.T) {
+	// The paper's headline comparison: on graphs born condensed, VMiner's
+	// mined representation is no better than the condensed one it never
+	// saw (usually far worse).
+	g := datagen.Condensed(datagen.CondensedConfig{
+		Seed: 5, RealNodes: 80, VirtualNodes: 10, MeanSize: 15, StdDev: 3,
+	})
+	mined, _, err := Mine(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mined.RepEdges() < g.RepEdges() {
+		t.Fatalf("VMiner (%d edges) beat the native condensed form (%d); check the miner",
+			mined.RepEdges(), g.RepEdges())
+	}
+}
