@@ -7,6 +7,7 @@ package graphgen
 // `go test -bench=. -benchmem` regenerates the comparisons.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -428,6 +429,72 @@ func BenchmarkTable5_Shapes(b *testing.B) {
 				b.ReportMetric(float64(edges), "edges")
 			})
 		}
+	}
+}
+
+// BenchmarkParallelism times the three parallelized hot paths — extraction,
+// BSP PageRank, and dedup conversion — at Parallelism 1 vs 4 on the
+// full-scale (non-Quick) large datasets, quantifying the worker-pool
+// speedup. On multi-core hardware the P4 rows should run >= 1.5x faster
+// than P1; on a single-core runner they only measure the staging overhead.
+func BenchmarkParallelism(b *testing.B) {
+	large := experiments.LargeDatasets(experiments.Scale{})
+	d := large[2] // Single_1: the widest join fan-out of the Table 3 set
+	prog, err := datalog.Parse(d.Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Extraction/%s/P%d", d.Name, workers), func(b *testing.B) {
+			opts := extract.DefaultOptions()
+			opts.ForceCondensed = true
+			opts.SkipPreprocess = true
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := extract.Extract(d.DB, prog, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	opts := extract.DefaultOptions()
+	opts.ForceCondensed = true
+	opts.SkipPreprocess = true
+	res, err := extract.Extract(d.DB, prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdup := res.Graph
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("DedupBitmap2/%s/P%d", d.Name, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dedup.Bitmap2(cdup, dedup.Options{Seed: 3, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	bm, _, err := dedup.Bitmap2(cdup, dedup.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("PageRankBSP/%s/P%d", d.Name, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bsp.PageRank(bm, 5, 0.85, bsp.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ComponentsBSP/%s/P%d", d.Name, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bsp.Components(cdup, bsp.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset generator seed")
 	suggestFlag := flag.Bool("suggest", false, "propose candidate extraction queries for the dataset's schema and exit")
 	csvTables := flag.String("csv", "", "comma-separated name=path.csv pairs loaded into a fresh database instead of -dataset")
+	workers := flag.Int("workers", 0, "worker-pool parallelism for extraction and conversion (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -96,7 +97,7 @@ func main() {
 		fatal(fmt.Errorf("no query: pass -query-file or use a built-in -dataset"))
 	}
 
-	engine := graphgen.NewEngine(db)
+	engine := graphgen.NewEngine(db, graphgen.WithParallelism(*workers))
 	g, err := engine.Extract(query)
 	if err != nil {
 		fatal(err)
@@ -108,7 +109,7 @@ func main() {
 		st.LargeOutputJoins, st.DatabaseJoins, st.Case2Rules)
 
 	if target := parseRep(*rep); target != g.Representation() {
-		conv, err := g.As(target)
+		conv, err := g.As(target, graphgen.DedupOptions{Workers: *workers})
 		if err != nil {
 			fatal(fmt.Errorf("converting to %v: %w", target, err))
 		}

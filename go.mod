@@ -1,0 +1,3 @@
+module graphgen
+
+go 1.22

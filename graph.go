@@ -97,6 +97,10 @@ func (g *Graph) MemBytes() int64 { return g.c.MemBytes() }
 // default algorithm for that representation: BITMAP-2 for BITMAP, Greedy
 // Virtual Nodes First for DEDUP-1, the Appendix-B greedy for DEDUP-2, and
 // full expansion for EXP. The receiver is never modified.
+//
+// DedupOptions.Workers sets the conversion's parallelism (<= 0, the
+// default, means GOMAXPROCS; 1 is the serial path); the converted graph is
+// identical for every setting.
 func (g *Graph) As(rep Representation, opts ...DedupOptions) (*Graph, error) {
 	var o DedupOptions
 	if len(opts) > 0 {

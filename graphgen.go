@@ -19,6 +19,13 @@
 // Extraction produces the C-DUP condensed representation whenever the
 // planner detects large-output joins; Graph.As converts it to EXP, DEDUP-1,
 // DEDUP-2 or BITMAP using the deduplication algorithms of Section 5.
+//
+// Every stage runs multi-core by default on a shared worker pool
+// (internal/parallel) with deterministic chunk-ordered merges: extraction
+// parallelism is set with WithParallelism, conversion parallelism with
+// DedupOptions.Workers, and the identical-output guarantee means a worker
+// count never changes what is extracted or converted (PageRank may differ
+// in the last float bits, from summation order).
 package graphgen
 
 import (
@@ -112,6 +119,18 @@ func WithAutoExpand(factor float64) Option {
 // WithLargeOutputFactor overrides the planner threshold (default 2).
 func WithLargeOutputFactor(f float64) Option {
 	return func(o *extract.Options) { o.LargeOutputFactor = f }
+}
+
+// WithParallelism bounds the extraction pipeline's worker-pool parallelism:
+// the relational scans, the conjunctive-join probe phase, and the Step-6
+// preprocessing pass all partition their work across n workers with
+// deterministic chunk-ordered merges. n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0); n == 1 reproduces the serial pipeline bit-for-bit;
+// every setting extracts an identical graph. The same knob for
+// representation conversion is DedupOptions.Workers (Graph.As), and for the
+// BSP analytics engine bsp.Options.Workers.
+func WithParallelism(n int) Option {
+	return func(o *extract.Options) { o.Workers = n }
 }
 
 // NewEngine creates an extraction engine over db.

@@ -7,19 +7,42 @@
 // correct Degree/PageRank over DEDUP-1 and BITMAP need twice the supersteps
 // of EXP; and Connected Components, being duplicate-insensitive, runs
 // directly on C-DUP.
+//
+// Supersteps execute vertex partitions concurrently on the shared worker
+// pool (internal/parallel): each worker stages its outgoing messages in a
+// private buffer, and the barrier sync() merges the buffers in chunk order
+// into the next superstep's inboxes. With Workers: 1 the execution — message
+// order included — is bit-for-bit the serial engine's; higher worker counts
+// preserve the BSP semantics exactly (per-vertex state is partition-private,
+// messages only become visible at the barrier) and change only the
+// interleaving of per-target message queues, which every shipped program
+// reduces with order-insensitive operations.
 package bsp
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"graphgen/internal/bitset"
 	"graphgen/internal/core"
+	"graphgen/internal/parallel"
 )
 
 // ErrNeedsDedup is returned when a duplicate-sensitive program (Degree,
 // PageRank) is run on a raw C-DUP graph.
 var ErrNeedsDedup = errors.New("bsp: algorithm is duplicate-sensitive; run on EXP, DEDUP-1 or BITMAP")
+
+// Options tunes a BSP run.
+type Options struct {
+	// Workers bounds superstep parallelism; <= 0 selects GOMAXPROCS and 1
+	// reproduces the serial engine bit-for-bit.
+	Workers int
+}
+
+// bspGrain is the smallest vertex partition worth a goroutine; BSP vertices
+// do more per-item work than the pool's default assumes.
+const bspGrain = 32
 
 // Result reports a BSP run.
 type Result struct {
@@ -44,50 +67,115 @@ type message struct {
 	origin int32
 }
 
-// engine is a single-process BSP substrate over a condensed graph. Vertex
-// IDs unify real and virtual nodes: real r is vertex r, virtual v is vertex
-// numRealSlots + v.
-type engine struct {
-	g     *core.Graph
-	nR    int32
-	inbox [][]message
-	next  [][]message
-	res   *Result
+// targeted is a staged message together with its destination vertex; workers
+// accumulate targeted messages privately and the barrier routes them.
+type targeted struct {
+	to int32
+	m  message
 }
 
-func newEngine(g *core.Graph) *engine {
+// stage is one worker's private outgoing-message buffer for the current
+// superstep section. Programs call send instead of touching the engine.
+type stage struct {
+	out []targeted
+}
+
+func (st *stage) send(to int32, m message) {
+	st.out = append(st.out, targeted{to: to, m: m})
+}
+
+// engine is a BSP substrate over a condensed graph. Vertex IDs unify real
+// and virtual nodes: real r is vertex r, virtual v is vertex
+// numRealSlots + v.
+type engine struct {
+	g       *core.Graph
+	nR      int32
+	workers int
+	inbox   [][]message
+	// pending holds the staged buffers of the sections run since the last
+	// barrier, in deterministic chunk order.
+	pending [][]targeted
+	res     *Result
+}
+
+func newEngine(g *core.Graph, workers int) *engine {
 	nR := int32(g.NumRealSlots())
 	total := int(nR) + g.NumVirtualSlots()
 	return &engine{
-		g:     g,
-		nR:    nR,
-		inbox: make([][]message, total),
-		next:  make([][]message, total),
-		res:   &Result{},
+		g:       g,
+		nR:      nR,
+		workers: parallel.Resolve(workers),
+		inbox:   make([][]message, total),
+		res:     &Result{},
 	}
+}
+
+func resolveOpts(opts []Options) int {
+	if len(opts) > 0 {
+		return opts[0].Workers
+	}
+	return 0
 }
 
 func (e *engine) realVertex(r int32) int32    { return r }
 func (e *engine) virtualVertex(v int32) int32 { return e.nR + v }
 
-func (e *engine) send(to int32, m message) {
-	e.next[to] = append(e.next[to], m)
-	e.res.Messages++
+// forRange runs fn for every index in [0, n) across the worker pool,
+// staging each chunk's sends privately and queueing the buffers in chunk
+// order for the next sync.
+func (e *engine) forRange(n int, fn func(st *stage, i int32)) {
+	bufs := parallel.MapChunks(n, e.workers, bspGrain, func(lo, hi int) []targeted {
+		var st stage
+		for i := int32(lo); i < int32(hi); i++ {
+			fn(&st, i)
+		}
+		return st.out
+	})
+	e.pending = append(e.pending, bufs...)
 }
 
-// sync advances to the next superstep: queued messages become the inbox.
+// forReals runs fn for every live real vertex.
+func (e *engine) forReals(fn func(st *stage, r int32)) {
+	g := e.g
+	e.forRange(g.NumRealSlots(), func(st *stage, r int32) {
+		if g.Alive(r) {
+			fn(st, r)
+		}
+	})
+}
+
+// forVirtuals runs fn for every live virtual vertex.
+func (e *engine) forVirtuals(fn func(st *stage, v int32)) {
+	g := e.g
+	e.forRange(g.NumVirtualSlots(), func(st *stage, v int32) {
+		if g.VirtAlive(v) {
+			fn(st, v)
+		}
+	})
+}
+
+// sync is the superstep barrier: every staged message becomes visible in its
+// destination inbox. Buffers merge in chunk order, so for a fixed worker
+// count the run is deterministic, and with one worker the inbox contents are
+// exactly the serial engine's.
 func (e *engine) sync() {
 	var inFlight int64
-	for i := range e.next {
-		inFlight += int64(len(e.next[i]))
+	for _, buf := range e.pending {
+		inFlight += int64(len(buf))
 	}
+	e.res.Messages += inFlight
 	if inFlight > e.res.PeakQueueLen {
 		e.res.PeakQueueLen = inFlight
 	}
-	e.inbox, e.next = e.next, e.inbox
-	for i := range e.next {
-		e.next[i] = e.next[i][:0]
+	for i := range e.inbox {
+		e.inbox[i] = e.inbox[i][:0]
 	}
+	for _, buf := range e.pending {
+		for _, t := range buf {
+			e.inbox[t.to] = append(e.inbox[t.to], t.m)
+		}
+	}
+	e.pending = e.pending[:0]
 	e.res.Supersteps++
 }
 
@@ -102,36 +190,51 @@ func (e *engine) finish(start time.Time) {
 // node V pushes |O(V)| to its sources (one message per incoming edge); on
 // BITMAP it pushes the per-origin popcount of its mask instead. Reals then
 // add their direct out-edges — two supersteps, as the paper reports.
-func Degree(g *core.Graph) (*Result, error) {
+func Degree(g *core.Graph, opts ...Options) (*Result, error) {
 	start := time.Now()
-	e := newEngine(g)
+	e := newEngine(g, resolveOpts(opts))
 	e.res.Values = make([]float64, g.NumRealSlots())
+	values := e.res.Values
 	switch g.Mode() {
 	case core.EXP:
-		g.ForEachReal(func(r int32) bool {
-			e.res.Values[r] = float64(g.OutDegree(r))
-			return true
+		parallel.RunMin(g.NumRealSlots(), e.workers, bspGrain, func(_, lo, hi int) {
+			for r := int32(lo); r < int32(hi); r++ {
+				if g.Alive(r) {
+					values[r] = float64(g.OutDegree(r))
+				}
+			}
 		})
 		e.res.Supersteps = 1
 	case core.DEDUP1, core.DEDUP2, core.BITMAP:
 		// Superstep 1: virtual nodes push target counts to sources.
-		g.ForEachVirtual(func(v int32) bool {
+		e.forVirtuals(func(st *stage, v int32) {
 			switch g.Mode() {
 			case core.BITMAP:
 				// Bitmaps are keyed by traversal origin, so the
 				// masked contribution goes straight to the origin
-				// real node (multi-layer included).
+				// real node (multi-layer included). ForEachBitmap
+				// ranges over a map; sort by origin so the send
+				// order — and thus the run — is deterministic.
+				type originMask struct {
+					origin int32
+					b      *bitset.Set
+				}
+				var masks []originMask
 				g.ForEachBitmap(v, func(origin int32, b *bitset.Set) {
-					n := b.Count()
+					masks = append(masks, originMask{origin, b})
+				})
+				sort.Slice(masks, func(i, j int) bool { return masks[i].origin < masks[j].origin })
+				for _, om := range masks {
+					n := om.b.Count()
 					// Bits beyond the real-target range mask
 					// virtual-virtual edges; exclude them.
-					for i := len(g.VirtTargets(v)); i < b.Len(); i++ {
-						if b.Get(i) {
+					for i := len(g.VirtTargets(v)); i < om.b.Len(); i++ {
+						if om.b.Get(i) {
 							n--
 						}
 					}
-					e.send(e.realVertex(origin), message{value: float64(n), origin: -1})
-				})
+					st.send(e.realVertex(om.origin), message{value: float64(n), origin: -1})
+				}
 			case core.DEDUP2:
 				// A member reaches its own virtual node's other
 				// members plus the 1-hop neighborhood.
@@ -140,19 +243,18 @@ func Degree(g *core.Graph) (*Result, error) {
 					hop += len(g.VirtTargets(w))
 				}
 				for _, s := range g.VirtSources(v) {
-					e.send(e.realVertex(s), message{value: float64(len(g.VirtTargets(v)) - 1 + hop), origin: -1})
+					st.send(e.realVertex(s), message{value: float64(len(g.VirtTargets(v)) - 1 + hop), origin: -1})
 				}
 			default: // DEDUP1
 				for _, s := range g.VirtSources(v) {
-					e.send(e.realVertex(s), message{value: float64(len(g.VirtTargets(v))), origin: -1})
+					st.send(e.realVertex(s), message{value: float64(len(g.VirtTargets(v))), origin: -1})
 				}
 			}
-			return true
 		})
 		e.sync()
 		// Superstep 2: reals sum and add direct edges; subtract the
 		// self edge that symmetric membership contributes.
-		g.ForEachReal(func(r int32) bool {
+		e.forReals(func(_ *stage, r int32) {
 			sum := float64(len(g.OutDirect(r)))
 			for _, m := range e.inbox[e.realVertex(r)] {
 				sum += m.value
@@ -160,8 +262,7 @@ func Degree(g *core.Graph) (*Result, error) {
 			if !g.SelfLoops && g.Mode() != core.DEDUP2 {
 				sum -= float64(countSelfPaths(g, r))
 			}
-			e.res.Values[r] = sum
-			return true
+			values[r] = sum
 		})
 		e.res.Supersteps++
 	default:

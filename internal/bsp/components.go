@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"graphgen/internal/core"
+	"graphgen/internal/parallel"
 )
 
 // Components computes weakly-connected-component labels with min-label
@@ -12,9 +13,13 @@ import (
 // every representation — including raw C-DUP, because reachability (and
 // therefore the fixpoint) is insensitive to duplicate paths; this is the
 // speedup the paper reports for Connected Components on condensed graphs.
-func Components(g *core.Graph) (*Result, error) {
+//
+// Each superstep partitions the unified vertex range across the worker
+// pool; min-label reduction is order-insensitive, so any worker count
+// produces identical labels.
+func Components(g *core.Graph, opts ...Options) (*Result, error) {
 	start := time.Now()
-	e := newEngine(g)
+	e := newEngine(g, resolveOpts(opts))
 	nR := int32(g.NumRealSlots())
 	total := int(nR) + g.NumVirtualSlots()
 	label := make([]float64, total)
@@ -66,34 +71,45 @@ func Components(g *core.Graph) (*Result, error) {
 	}
 
 	// Superstep 0: everyone announces its label.
-	for vx := int32(0); int(vx) < total; vx++ {
+	e.forRange(total, func(st *stage, vx int32) {
 		if !alive(vx) {
-			continue
+			return
 		}
 		for _, n := range neighborsOf(vx) {
-			e.send(n, message{value: label[vx], origin: -1})
+			st.send(n, message{value: label[vx], origin: -1})
 		}
-	}
+	})
 	e.sync()
 	for {
+		// Per-chunk changed flags OR together; a vertex only reads its
+		// own label and inbox and writes its own label, so partitions
+		// are independent within a superstep.
+		changed := parallel.MapChunks(total, e.workers, bspGrain, func(lo, hi int) sectionResult {
+			var sec sectionResult
+			for vx := int32(lo); vx < int32(hi); vx++ {
+				if !alive(vx) {
+					continue
+				}
+				min := label[vx]
+				for _, m := range e.inbox[vx] {
+					if m.value < min {
+						min = m.value
+					}
+				}
+				if min < label[vx] {
+					label[vx] = min
+					sec.changed = true
+					for _, n := range neighborsOf(vx) {
+						sec.st.send(n, message{value: min, origin: -1})
+					}
+				}
+			}
+			return sec
+		})
 		changedAny := false
-		for vx := int32(0); int(vx) < total; vx++ {
-			if !alive(vx) {
-				continue
-			}
-			min := label[vx]
-			for _, m := range e.inbox[vx] {
-				if m.value < min {
-					min = m.value
-				}
-			}
-			if min < label[vx] {
-				label[vx] = min
-				changedAny = true
-				for _, n := range neighborsOf(vx) {
-					e.send(n, message{value: min, origin: -1})
-				}
-			}
+		for _, sec := range changed {
+			e.pending = append(e.pending, sec.st.out)
+			changedAny = changedAny || sec.changed
 		}
 		e.sync()
 		if !changedAny {
@@ -103,4 +119,11 @@ func Components(g *core.Graph) (*Result, error) {
 	e.res.Values = label[:nR]
 	e.finish(start)
 	return e.res, nil
+}
+
+// sectionResult carries one chunk's staged messages plus its convergence
+// flag out of a Components superstep.
+type sectionResult struct {
+	st      stage
+	changed bool
 }

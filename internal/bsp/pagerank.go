@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"graphgen/internal/core"
+	"graphgen/internal/parallel"
 )
 
 // PageRank runs iters rounds of damped PageRank on the BSP engine.
@@ -17,18 +18,23 @@ import (
 // virtual nodes compute per-target masked sums from their origin-tagged
 // inputs. Out-degrees are precomputed (the paper notes the degree is not
 // available during a superstep on condensed representations).
-func PageRank(g *core.Graph, iters int, damping float64) (*Result, error) {
+//
+// Vertex partitions run concurrently (Options.Workers); per-vertex rank
+// state is partition-private and messages only move at the barrier, so the
+// results match the serial run up to float summation order.
+func PageRank(g *core.Graph, iters int, damping float64, opts ...Options) (*Result, error) {
 	start := time.Now()
 	mode := g.Mode()
 	if mode == core.CDUP {
 		return nil, ErrNeedsDedup
 	}
-	degRes, err := Degree(g)
+	workers := resolveOpts(opts)
+	degRes, err := Degree(g, Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	deg := degRes.Values
-	e := newEngine(g)
+	e := newEngine(g, workers)
 	n := float64(g.NumRealNodes())
 	rank := make([]float64, g.NumRealSlots())
 	g.ForEachReal(func(r int32) bool {
@@ -37,34 +43,33 @@ func PageRank(g *core.Graph, iters int, damping float64) (*Result, error) {
 	})
 
 	sendFromReals := func() {
-		g.ForEachReal(func(r int32) bool {
+		e.forReals(func(st *stage, r int32) {
 			if deg[r] <= 0 {
-				return true
+				return
 			}
 			share := rank[r] / deg[r]
 			for _, t := range g.OutDirect(r) {
-				e.send(e.realVertex(t), message{value: share, origin: r})
+				st.send(e.realVertex(t), message{value: share, origin: r})
 			}
 			for _, v := range g.OutVirtuals(r) {
-				e.send(e.virtualVertex(v), message{value: share, origin: r})
+				st.send(e.virtualVertex(v), message{value: share, origin: r})
 			}
 			if mode == core.DEDUP2 {
 				// Members also reach the 1-hop virtual
 				// neighborhood; route one copy per hop edge.
 				for _, v := range g.OutVirtuals(r) {
 					for _, w := range g.VirtUndirected(v) {
-						e.send(e.virtualVertex(w), message{value: share, origin: r})
+						st.send(e.virtualVertex(w), message{value: share, origin: r})
 					}
 				}
 			}
-			return true
 		})
 	}
 	forwardFromVirtuals := func() {
-		g.ForEachVirtual(func(v int32) bool {
+		e.forVirtuals(func(st *stage, v int32) {
 			msgs := e.inbox[e.virtualVertex(v)]
 			if len(msgs) == 0 {
-				return true
+				return
 			}
 			switch mode {
 			case core.BITMAP:
@@ -95,13 +100,21 @@ func PageRank(g *core.Graph, iters int, damping float64) (*Result, error) {
 				}
 				for i, t := range targets {
 					if sums[i] != 0 {
-						e.send(e.realVertex(t), message{value: sums[i], origin: -1})
+						st.send(e.realVertex(t), message{value: sums[i], origin: -1})
 					}
 				}
 				// Forward per-origin values to deeper layers.
+				// Iterate incoming messages (not the map) so the
+				// forwarding order is deterministic.
+				seen := make(map[int32]struct{}, len(perOrigin))
 				for _, w := range g.VirtOutVirt(v) {
-					for origin, val := range perOrigin {
-						e.send(e.virtualVertex(w), message{value: val, origin: origin})
+					clear(seen)
+					for _, m := range msgs {
+						if _, dup := seen[m.origin]; dup {
+							continue
+						}
+						seen[m.origin] = struct{}{}
+						st.send(e.virtualVertex(w), message{value: perOrigin[m.origin], origin: m.origin})
 					}
 				}
 			default: // DEDUP1, DEDUP2: exactly one path per pair
@@ -119,24 +132,22 @@ func PageRank(g *core.Graph, iters int, damping float64) (*Result, error) {
 						out -= perOrigin[t] // exclude the self path
 					}
 					if out != 0 {
-						e.send(e.realVertex(t), message{value: out, origin: -1})
+						st.send(e.realVertex(t), message{value: out, origin: -1})
 					}
 				}
 				for _, w := range g.VirtOutVirt(v) {
-					e.send(e.virtualVertex(w), message{value: sum, origin: -1})
+					st.send(e.virtualVertex(w), message{value: sum, origin: -1})
 				}
 			}
-			return true
 		})
 	}
 	applyAtReals := func() {
-		g.ForEachReal(func(r int32) bool {
+		e.forReals(func(_ *stage, r int32) {
 			var sum float64
 			for _, m := range e.inbox[e.realVertex(r)] {
 				sum += m.value
 			}
 			rank[r] = (1-damping)/n + damping*sum
-			return true
 		})
 	}
 
@@ -150,16 +161,21 @@ func PageRank(g *core.Graph, iters int, damping float64) (*Result, error) {
 		// Messages to real nodes can arrive at every intermediate
 		// superstep (direct edges immediately, virtual layers later);
 		// drain them into an accumulator after each sync so a swap
-		// does not discard them.
-		carried := make(map[int32]float64)
+		// does not discard them. carried is indexed by dense real slot;
+		// each worker only touches its own partition's entries.
+		carried := make([]float64, g.NumRealSlots())
 		drainReals := func() {
-			g.ForEachReal(func(r int32) bool {
-				box := e.inbox[e.realVertex(r)]
-				for _, m := range box {
-					carried[r] += m.value
+			parallel.RunMin(g.NumRealSlots(), e.workers, bspGrain, func(_, lo, hi int) {
+				for r := int32(lo); r < int32(hi); r++ {
+					if !g.Alive(r) {
+						continue
+					}
+					box := e.inbox[e.realVertex(r)]
+					for _, m := range box {
+						carried[r] += m.value
+					}
+					e.inbox[e.realVertex(r)] = box[:0]
 				}
-				e.inbox[e.realVertex(r)] = box[:0]
-				return true
 			})
 		}
 		drainReals()
@@ -169,9 +185,8 @@ func PageRank(g *core.Graph, iters int, damping float64) (*Result, error) {
 			e.sync()
 			drainReals()
 		}
-		g.ForEachReal(func(r int32) bool {
+		e.forReals(func(_ *stage, r int32) {
 			rank[r] = (1-damping)/n + damping*carried[r]
-			return true
 		})
 	}
 	e.res.Values = rank

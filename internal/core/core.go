@@ -18,6 +18,15 @@
 // Section 4.3 (C-DUP, EXP, DEDUP-1, DEDUP-2, BITMAP); the Mode field selects
 // how Neighbors resolves duplicate paths. Deduplication algorithms that
 // convert between representations live in internal/dedup.
+//
+// Concurrency: every accessor that does not mutate the graph — the
+// adjacency readers (VirtSources, VirtTargets, OutDirect, OutVirtuals, ...),
+// the traversals (ForNeighbors, OutDegree, HasEdgeIdx), and the size metrics
+// — performs no lazy initialization and is safe for concurrent use from
+// multiple goroutines. The parallel phases in internal/extract,
+// internal/bsp, and internal/dedup rely on this read-only contract. Mutating
+// methods require external synchronization (the parallel callers stage
+// mutations per worker and apply them serially).
 package core
 
 import (

@@ -2,8 +2,8 @@ package core
 
 import (
 	"errors"
-	"runtime"
-	"sync"
+
+	"graphgen/internal/parallel"
 )
 
 // This file implements (a) the Step-6 preprocessing of Section 4.2 — expand
@@ -24,38 +24,21 @@ var ErrTooLarge = errors.New("graphgen: expanded graph exceeds the memory budget
 // implementation needed non-trivial concurrency control for the same
 // reason). Returns the number of virtual nodes expanded.
 func (g *Graph) PreprocessExpandSmall(workers int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	// Parallel phase: decide which virtual nodes qualify.
 	n := len(g.vLayer)
 	candidates := make([]bool, n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				if g.vDead[v] {
-					continue
-				}
-				in := len(g.vIn[v]) + len(g.vInVirt[v])
-				out := len(g.vOut[v]) + len(g.vOutVirt[v])
-				if in*out <= in+out+1 {
-					candidates[v] = true
-				}
+	parallel.Run(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if g.vDead[v] {
+				continue
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			in := len(g.vIn[v]) + len(g.vInVirt[v])
+			out := len(g.vOut[v]) + len(g.vOutVirt[v])
+			if in*out <= in+out+1 {
+				candidates[v] = true
+			}
+		}
+	})
 	// Serial phase: apply the expansions. Expanding one node can change
 	// the degree of another, so each candidate is re-checked.
 	expanded := 0

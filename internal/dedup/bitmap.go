@@ -1,11 +1,9 @@
 package dedup
 
 import (
-	"runtime"
-	"sync"
-
 	"graphgen/internal/bitset"
 	"graphgen/internal/core"
+	"graphgen/internal/parallel"
 )
 
 // This file implements the BITMAP preprocessing algorithms of Section 5.1.
@@ -28,45 +26,71 @@ import (
 
 // Bitmap1 builds the BITMAP representation with the naive BITMAP-1
 // algorithm. It accepts any condensed graph (single- or multi-layer).
-func Bitmap1(g *core.Graph) (*core.Graph, Stats, error) {
+//
+// The per-origin walks are independent and read-only, so they run on the
+// shared worker pool (Options.Workers); each chunk stages its planned
+// bitmaps and the mutations apply serially afterwards, making the output
+// identical for every worker count.
+func Bitmap1(g *core.Graph, opts ...Options) (*core.Graph, Stats, error) {
+	workers := 0 // the Options contract: <= 0 means GOMAXPROCS
+	if len(opts) > 0 {
+		workers = opts[0].Workers
+	}
 	out := g.Clone()
 	var st Stats
 	st.RepEdgesBefore = out.RepEdges()
 	out.NormalizeDirects()
-	seen := make(map[int32]struct{})
-	seenVirt := make(map[int32]struct{})
-	out.ForEachReal(func(u int32) bool {
-		clear(seen)
-		clear(seenVirt)
-		var stack []int32
-		stack = append(stack, out.OutVirtuals(u)...)
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if _, dup := seenVirt[v]; dup {
-				continue
-			}
-			seenVirt[v] = struct{}{}
-			targets := out.VirtTargets(v)
-			if len(targets) > 0 {
-				bmp := bitset.New(len(targets))
-				for i, t := range targets {
-					if t == u && !out.SelfLoops {
-						continue // self edge: leave masked
-					}
-					if _, dup := seen[t]; dup {
-						continue
-					}
-					seen[t] = struct{}{}
-					bmp.Set(i)
+
+	var origins []int32
+	out.ForEachReal(func(u int32) bool { origins = append(origins, u); return true })
+	chunks := parallel.MapChunks(len(origins), workers, 8, func(lo, hi int) []bitmap2Plan {
+		var plans []bitmap2Plan
+		seen := make(map[int32]struct{})
+		seenVirt := make(map[int32]struct{})
+		for _, u := range origins[lo:hi] {
+			clear(seen)
+			clear(seenVirt)
+			p := bitmap2Plan{origin: u}
+			var stack []int32
+			stack = append(stack, out.OutVirtuals(u)...)
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if _, dup := seenVirt[v]; dup {
+					continue
 				}
-				out.SetBitmap(v, u, bmp)
+				seenVirt[v] = struct{}{}
+				targets := out.VirtTargets(v)
+				if len(targets) > 0 {
+					bmp := bitset.New(len(targets))
+					for i, t := range targets {
+						if t == u && !out.SelfLoops {
+							continue // self edge: leave masked
+						}
+						if _, dup := seen[t]; dup {
+							continue
+						}
+						seen[t] = struct{}{}
+						bmp.Set(i)
+					}
+					p.bitmaps = append(p.bitmaps, plannedBitmap{virt: v, bits: bmp})
+				}
+				stack = append(stack, out.VirtOutVirt(v)...)
+			}
+			if len(p.bitmaps) > 0 {
+				plans = append(plans, p)
+			}
+		}
+		return plans
+	})
+	for _, ps := range chunks {
+		for _, p := range ps {
+			for _, pb := range p.bitmaps {
+				out.SetBitmap(pb.virt, p.origin, pb.bits)
 				st.BitmapsCreated++
 			}
-			stack = append(stack, out.VirtOutVirt(v)...)
 		}
-		return true
-	})
+	}
 	out.SetMode(core.BITMAP)
 	st.RepEdgesAfter = out.RepEdges()
 	return out, st, nil
@@ -100,35 +124,15 @@ func Bitmap2(g *core.Graph, opts Options) (*core.Graph, Stats, error) {
 	var origins []int32
 	out.ForEachReal(func(r int32) bool { origins = append(origins, r); return true })
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(origins) {
-		workers = 1
-	}
-	plans := make([][]bitmap2Plan, workers)
-	var wg sync.WaitGroup
-	chunk := (len(origins) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if lo >= len(origins) {
-			break
-		}
-		if hi > len(origins) {
-			hi = len(origins)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for _, u := range origins[lo:hi] {
-				if p := planBitmap2(out, u); p != nil {
-					plans[w] = append(plans[w], *p)
-				}
+	plans := parallel.MapChunks(len(origins), opts.Workers, 8, func(lo, hi int) []bitmap2Plan {
+		var ps []bitmap2Plan
+		for _, u := range origins[lo:hi] {
+			if p := planBitmap2(out, u); p != nil {
+				ps = append(ps, *p)
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		return ps
+	})
 
 	for _, ps := range plans {
 		for _, p := range ps {

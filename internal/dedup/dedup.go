@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"graphgen/internal/core"
+	"graphgen/internal/parallel"
 )
 
 // ErrUnsupported is returned when an algorithm is applied to a graph outside
@@ -62,8 +63,12 @@ type Options struct {
 	// Seed drives the random ordering and random choices; runs are
 	// deterministic for a fixed seed.
 	Seed int64
-	// Workers bounds the parallelism of the parallel phases (BITMAP-2's
-	// chunked scan); <= 0 means GOMAXPROCS.
+	// Workers bounds the parallelism of the conversion's independent
+	// phases, all run on the shared worker pool (internal/parallel): the
+	// BITMAP-1/BITMAP-2 per-origin plans, DEDUP-1's greedy candidate cost
+	// evaluation, DEDUP-2's pair-coverage checks, and the input-contract
+	// validation scan. Every phase merges deterministically, so the output
+	// graph is identical for any setting; <= 0 means GOMAXPROCS.
 	Workers int
 }
 
@@ -87,37 +92,57 @@ type Stats struct {
 // one virtual layer, member-set virtual nodes (I(V) == O(V)), symmetric
 // direct edges, and no logical self loops (a member of two virtual nodes
 // would emit its self edge once per membership, which membership surgery
-// cannot deduplicate — the BITMAP representations handle that case).
-func requireSymmetricSingleLayer(g *core.Graph) error {
+// cannot deduplicate — the BITMAP representations handle that case). The
+// per-node checks are independent and read-only, so they run chunked on the
+// worker pool with an order-insensitive all-of reduction.
+func requireSymmetricSingleLayer(g *core.Graph, workers int) error {
 	if g.SelfLoops {
 		return ErrUnsupported
 	}
 	if g.MaxLayer() > 1 {
 		return ErrUnsupported
 	}
-	ok := true
-	g.ForEachVirtual(func(v int32) bool {
-		if !sameMembers(g.VirtSources(v), g.VirtTargets(v)) {
-			ok = false
-			return false
+	virtOK := parallel.MapChunks(g.NumVirtualSlots(), workers, 0, func(lo, hi int) bool {
+		for v := int32(lo); v < int32(hi); v++ {
+			if !g.VirtAlive(v) {
+				continue
+			}
+			if !sameMembers(g.VirtSources(v), g.VirtTargets(v)) {
+				return false
+			}
 		}
 		return true
 	})
+	ok := allOf(virtOK)
 	if ok {
-		g.ForEachReal(func(u int32) bool {
-			for _, w := range g.OutDirect(u) {
-				if !contains(g.OutDirect(w), u) {
-					ok = false
-					return false
+		realOK := parallel.MapChunks(g.NumRealSlots(), workers, 0, func(lo, hi int) bool {
+			for u := int32(lo); u < int32(hi); u++ {
+				if !g.Alive(u) {
+					continue
+				}
+				for _, w := range g.OutDirect(u) {
+					if !contains(g.OutDirect(w), u) {
+						return false
+					}
 				}
 			}
 			return true
 		})
+		ok = allOf(realOK)
 	}
 	if !ok {
 		return ErrUnsupported
 	}
 	return nil
+}
+
+func allOf(flags []bool) bool {
+	for _, f := range flags {
+		if !f {
+			return false
+		}
+	}
+	return true
 }
 
 func sameMembers(a, b []int32) bool {

@@ -1,6 +1,9 @@
 package dedup
 
-import "graphgen/internal/core"
+import (
+	"graphgen/internal/core"
+	"graphgen/internal/parallel"
+)
 
 // This file implements the DEDUP-2 greedy algorithm of Appendix B. DEDUP-2
 // targets single-layer symmetric condensed graphs and enriches the
@@ -33,7 +36,7 @@ import "graphgen/internal/core"
 // Dedup2Greedy converts a single-layer symmetric C-DUP graph into the
 // DEDUP-2 representation.
 func Dedup2Greedy(g *core.Graph, opts Options) (*core.Graph, Stats, error) {
-	if err := requireSymmetricSingleLayer(g); err != nil {
+	if err := requireSymmetricSingleLayer(g, opts.Workers); err != nil {
 		return nil, Stats{}, err
 	}
 	var st Stats
@@ -45,7 +48,7 @@ func Dedup2Greedy(g *core.Graph, opts Options) (*core.Graph, Stats, error) {
 	src.NormalizeDirects()
 	g = src
 
-	b := &dedup2Builder{src: g, out: core.New(core.DEDUP2), idx: make(map[int32][]int32), st: &st}
+	b := &dedup2Builder{src: g, out: core.New(core.DEDUP2), idx: make(map[int32][]int32), st: &st, workers: opts.Workers}
 	b.out.Symmetric = true
 	b.out.SelfLoops = false
 	// Real nodes copy (dense indices align with the source by insertion
@@ -96,6 +99,8 @@ type dedup2Builder struct {
 	// idx maps a real node to the processed virtual nodes it belongs to.
 	idx map[int32][]int32
 	st  *Stats
+	// workers bounds the parallelism of the candidate-evaluation checks.
+	workers int
 }
 
 func (b *dedup2Builder) members(v int32) []int32 { return b.out.VirtTargets(v) }
@@ -130,6 +135,30 @@ func (b *dedup2Builder) covered(a, c int32) bool {
 		return true
 	}
 	for _, v := range b.virtsOf(a) {
+		if contains(b.members(v), c) {
+			return true
+		}
+		for _, n := range b.out.VirtUndirected(v) {
+			if contains(b.members(n), c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coveredRO is covered without virtsOf's index compaction: it only reads
+// builder state, so concurrent calls from the worker pool are safe. Stale
+// index entries are skipped instead of pruned, which cannot change the
+// answer — only the cost of reaching it.
+func (b *dedup2Builder) coveredRO(a, c int32) bool {
+	if contains(b.out.OutDirect(a), c) {
+		return true
+	}
+	for _, v := range b.idx[a] {
+		if !b.out.VirtAlive(v) || !contains(b.members(v), a) {
+			continue
+		}
 		if contains(b.members(v), c) {
 			return true
 		}
@@ -280,15 +309,26 @@ func (b *dedup2Builder) addEdgeChecked(a, c int32) {
 			}
 		}
 	}
-	// No pair may already be covered.
+	// No pair may already be covered. The per-pair checks are read-only
+	// (coveredRO) and independent, so the |M(a)| x |M(c)| scan — the
+	// expensive candidate evaluation of the conversion — fans out over the
+	// worker pool; any-covered is an order-insensitive reduction.
 	if ok {
-	outer:
-		for _, x := range b.members(a) {
-			for _, y := range b.members(c) {
-				if b.covered(x, y) {
-					ok = false
-					break outer
+		ma, mc := b.members(a), b.members(c)
+		anyCovered := parallel.MapChunks(len(ma), b.workers, 8, func(lo, hi int) bool {
+			for _, x := range ma[lo:hi] {
+				for _, y := range mc {
+					if b.coveredRO(x, y) {
+						return true
+					}
 				}
+			}
+			return false
+		})
+		for _, hit := range anyCovered {
+			if hit {
+				ok = false
+				break
 			}
 		}
 	}

@@ -56,7 +56,7 @@ func loadEdgesChain(db *relstore.DB, g *core.Graph, chain *Chain, opts Options, 
 		for k := s.lo; k <= s.hi; k++ {
 			atoms = append(atoms, chain.Steps[k].Atom)
 		}
-		rel, err := evalConjunctive(db, atoms, []string{s.inVar, s.outVar}, true)
+		rel, err := evalConjunctive(db, atoms, []string{s.inVar, s.outVar}, true, opts.Workers)
 		if err != nil {
 			return err
 		}

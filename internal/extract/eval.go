@@ -11,16 +11,19 @@ import (
 // substrate: per-atom scans with constant selections, hash joins on all
 // shared variables, and a final distinct projection. The extraction planner
 // uses it both for the in-segment joins it "hands to the database" and for
-// Case 2 full expansion.
+// Case 2 full expansion. Scans and the join probe phase run on the shared
+// worker pool (internal/parallel) with chunk-ordered merges, so results are
+// identical for every worker count.
 
 // evalConjunctive joins the atoms on their shared variables and projects
 // outVars. The atom list must be connected (every atom shares a variable
-// with the part already joined).
-func evalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool) (*relstore.Rel, error) {
+// with the part already joined). workers bounds the scan/probe parallelism
+// (<= 0 means GOMAXPROCS).
+func evalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool, workers int) (*relstore.Rel, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("extract: empty rule body")
 	}
-	cur, err := scanAtom(db, atoms[0])
+	cur, err := scanAtom(db, atoms[0], workers)
 	if err != nil {
 		return nil, err
 	}
@@ -42,11 +45,11 @@ func evalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, di
 		if picked < 0 {
 			return nil, fmt.Errorf("extract: rule body is disconnected (atom %s shares no variable)", pending[0])
 		}
-		rel, err := scanAtom(db, pending[picked])
+		rel, err := scanAtom(db, pending[picked], workers)
 		if err != nil {
 			return nil, err
 		}
-		cur, err = relstore.MultiJoin(cur, rel, shared)
+		cur, err = relstore.MultiJoinWorkers(cur, rel, shared, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +71,7 @@ func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
 // scanAtom scans the atom's table, applying constant terms as selection
 // predicates and intra-atom repeated variables as equality filters, and
 // projects the variable positions under their variable names.
-func scanAtom(db *relstore.DB, atom datalog.Atom) (*relstore.Rel, error) {
+func scanAtom(db *relstore.DB, atom datalog.Atom, workers int) (*relstore.Rel, error) {
 	t, err := db.Table(atom.Pred)
 	if err != nil {
 		return nil, err
@@ -101,7 +104,7 @@ func scanAtom(db *relstore.DB, atom datalog.Atom) (*relstore.Rel, error) {
 		}
 	}
 	if len(equalities) == 0 {
-		return relstore.Scan(t, preds, cols, names)
+		return relstore.ScanWorkers(t, preds, cols, names, workers)
 	}
 	// Repeated variable within the atom: scan wide, filter, then project.
 	all := make([]int, len(t.Cols))
@@ -110,7 +113,7 @@ func scanAtom(db *relstore.DB, atom datalog.Atom) (*relstore.Rel, error) {
 		all[i] = i
 		wide[i] = fmt.Sprintf("#%d", i)
 	}
-	raw, err := relstore.Scan(t, preds, all, wide)
+	raw, err := relstore.ScanWorkers(t, preds, all, wide, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -39,7 +39,11 @@ type Options struct {
 	AutoExpandFactor float64
 	// SelfLoops keeps logical self edges in the extracted graph.
 	SelfLoops bool
-	// Workers bounds preprocessing parallelism.
+	// Workers bounds extraction parallelism: the relational scan and join
+	// probe phases and the Step-6 preprocessing pass all run on the shared
+	// worker pool with deterministic chunk-ordered merges, so the extracted
+	// graph is identical for every setting. <= 0 means GOMAXPROCS; 1 is the
+	// serial path.
 	Workers int
 }
 
@@ -87,7 +91,7 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 
 	// Step 1: Nodes statements.
 	for _, rule := range prog.Nodes {
-		if err := loadNodes(db, g, rule); err != nil {
+		if err := loadNodes(db, g, rule, opts); err != nil {
 			return nil, err
 		}
 	}
@@ -139,7 +143,7 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 
 // loadNodes evaluates one Nodes rule and adds the result as real nodes with
 // properties named after the head variables.
-func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule) error {
+func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options) error {
 	var outVars []string
 	for _, t := range rule.Head.Terms {
 		if t.Kind != datalog.TermVar {
@@ -147,7 +151,7 @@ func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule) error {
 		}
 		outVars = append(outVars, t.Var)
 	}
-	rel, err := evalConjunctive(db, rule.Body, outVars, true)
+	rel, err := evalConjunctive(db, rule.Body, outVars, true, opts.Workers)
 	if err != nil {
 		return err
 	}
@@ -167,7 +171,7 @@ func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule) error {
 func loadEdgesExpanded(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options, st *Stats) error {
 	id1 := rule.Head.Terms[0].Var
 	id2 := rule.Head.Terms[1].Var
-	rel, err := evalConjunctive(db, rule.Body, []string{id1, id2}, true)
+	rel, err := evalConjunctive(db, rule.Body, []string{id1, id2}, true, opts.Workers)
 	if err != nil {
 		return err
 	}

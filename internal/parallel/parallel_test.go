@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+func TestChunksCoverInOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096} {
+		for _, w := range []int{1, 2, 4, 7, 100} {
+			chunks := Chunks(n, w, 0)
+			next := 0
+			for _, c := range chunks {
+				if c[0] != next {
+					t.Fatalf("Chunks(%d,%d): chunk starts at %d, want %d", n, w, c[0], next)
+				}
+				if c[1] <= c[0] {
+					t.Fatalf("Chunks(%d,%d): empty chunk %v", n, w, c)
+				}
+				next = c[1]
+			}
+			if next != n {
+				t.Fatalf("Chunks(%d,%d): covered [0,%d), want [0,%d)", n, w, next, n)
+			}
+			if n > 0 && len(chunks) > w && w >= 1 {
+				t.Fatalf("Chunks(%d,%d): %d chunks exceeds worker count", n, w, len(chunks))
+			}
+		}
+	}
+}
+
+func TestChunksSizeAware(t *testing.T) {
+	// Small inputs must not fan out.
+	if got := Chunks(10, 8, 0); len(got) != 1 {
+		t.Errorf("Chunks(10,8) = %d chunks, want 1 (size-aware serial path)", len(got))
+	}
+	if got := Chunks(10, 8, 1); len(got) < 2 {
+		t.Errorf("Chunks(10,8,min=1) = %d chunks, want a fan-out", len(got))
+	}
+}
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	var visited [n]int32
+	Run(n, 4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visited[i], 1)
+		}
+	})
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestRunSerialFastPath(t *testing.T) {
+	// With one worker the callback must run inline (chunk 0 only).
+	calls := 0
+	RunMin(1000, 1, 1, func(chunk, lo, hi int) {
+		calls++
+		if chunk != 0 || lo != 0 || hi != 1000 {
+			t.Fatalf("serial path got chunk=%d [%d,%d)", chunk, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path made %d calls", calls)
+	}
+}
+
+func TestMapChunksOrdered(t *testing.T) {
+	const n = 4096
+	sums := MapChunks(n, 4, 1, func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	})
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if want := n * (n - 1) / 2; total != want {
+		t.Fatalf("MapChunks total = %d, want %d", total, want)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("MapChunks produced %d chunks, want 4", len(sums))
+	}
+}

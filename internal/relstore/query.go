@@ -3,6 +3,8 @@ package relstore
 import (
 	"fmt"
 	"strings"
+
+	"graphgen/internal/parallel"
 )
 
 // Rel is a materialized intermediate relation produced by the operators
@@ -31,6 +33,13 @@ type Pred struct {
 // Scan reads a table, applies equality predicates, and projects the listed
 // column indexes under the given output names.
 func Scan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
+	return ScanWorkers(t, preds, cols, names, 1)
+}
+
+// ScanWorkers is Scan with the row loop partitioned across workers;
+// per-chunk outputs concatenate in chunk order, so the result is identical
+// to the serial scan for any worker count.
+func ScanWorkers(t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
 	if len(cols) != len(names) {
 		return nil, fmt.Errorf("relstore: scan of %s: %d cols, %d names", t.Name, len(cols), len(names))
 	}
@@ -40,18 +49,36 @@ func Scan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
 		}
 	}
 	out := &Rel{Cols: append([]string(nil), names...)}
-rows:
-	for _, row := range t.Rows {
-		for _, p := range preds {
-			if !row[p.Col].Equal(p.Value) {
-				continue rows
+	chunks := parallel.MapChunks(len(t.Rows), workers, 0, func(lo, hi int) [][]Value {
+		var sel [][]Value
+	rows:
+		for _, row := range t.Rows[lo:hi] {
+			for _, p := range preds {
+				if !row[p.Col].Equal(p.Value) {
+					continue rows
+				}
 			}
+			proj := make([]Value, len(cols))
+			for i, c := range cols {
+				proj[i] = row[c]
+			}
+			sel = append(sel, proj)
 		}
-		proj := make([]Value, len(cols))
-		for i, c := range cols {
-			proj[i] = row[c]
+		return sel
+	})
+	switch len(chunks) {
+	case 0:
+	case 1:
+		out.Rows = chunks[0]
+	default:
+		total := 0
+		for _, c := range chunks {
+			total += len(c)
 		}
-		out.Rows = append(out.Rows, proj)
+		out.Rows = make([][]Value, 0, total)
+		for _, c := range chunks {
+			out.Rows = append(out.Rows, c...)
+		}
 	}
 	return out, nil
 }
@@ -156,6 +183,15 @@ func Project(r *Rel, cols []string, distinct bool) (*Rel, error) {
 // composite key). The output has a's columns followed by b's columns minus
 // the shared ones.
 func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
+	return MultiJoinWorkers(a, b, shared, 1)
+}
+
+// MultiJoinWorkers is MultiJoin with a parallel probe phase: the hash table
+// is built serially on a (the build side), b's rows — the outer/probe
+// relation — are partitioned into contiguous chunks probed concurrently,
+// and the per-chunk outputs are concatenated in chunk order. The result is
+// row-for-row identical to the serial join regardless of the worker count.
+func MultiJoinWorkers(a, b *Rel, shared []string, workers int) (*Rel, error) {
 	ai := make([]int, len(shared))
 	bi := make([]int, len(shared))
 	bShared := make(map[int]bool, len(shared))
@@ -190,16 +226,35 @@ func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
 			out.Cols = append(out.Cols, c)
 		}
 	}
-	for _, brow := range b.Rows {
-		for _, arow := range build[key(brow, bi)] {
-			joined := make([]Value, 0, len(out.Cols))
-			joined = append(joined, arow...)
-			for j, v := range brow {
-				if !bShared[j] {
-					joined = append(joined, v)
+	probe := func(lo, hi int) [][]Value {
+		var rows [][]Value
+		for _, brow := range b.Rows[lo:hi] {
+			for _, arow := range build[key(brow, bi)] {
+				joined := make([]Value, 0, len(out.Cols))
+				joined = append(joined, arow...)
+				for j, v := range brow {
+					if !bShared[j] {
+						joined = append(joined, v)
+					}
 				}
+				rows = append(rows, joined)
 			}
-			out.Rows = append(out.Rows, joined)
+		}
+		return rows
+	}
+	chunks := parallel.MapChunks(len(b.Rows), workers, 0, probe)
+	switch len(chunks) {
+	case 0:
+	case 1:
+		out.Rows = chunks[0]
+	default:
+		total := 0
+		for _, c := range chunks {
+			total += len(c)
+		}
+		out.Rows = make([][]Value, 0, total)
+		for _, c := range chunks {
+			out.Rows = append(out.Rows, c...)
 		}
 	}
 	return out, nil

@@ -5,6 +5,11 @@
 // runs against; the extraction planner only needs cardinalities and
 // per-column distinct counts (pg_stats' n_distinct), which the catalog
 // provides exactly.
+//
+// The row-parallel operators (ScanWorkers, MultiJoinWorkers) partition
+// their input across the shared worker pool and concatenate per-chunk
+// outputs in chunk order, so they return row-for-row the same relation as
+// their serial counterparts for any worker count.
 package relstore
 
 import (
