@@ -214,3 +214,41 @@ func TestAtomHelpers(t *testing.T) {
 		t.Fatal("TermIndex found a missing var")
 	}
 }
+
+func TestStringEscapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`Nodes(ID) :- Person(ID, 'O\'Brien').`, "O'Brien"},
+		{`Nodes(ID) :- Person(ID, "say \"hi\"").`, `say "hi"`},
+		{`Nodes(ID) :- Person(ID, 'a\\b').`, `a\b`},
+		{`Nodes(ID) :- Person(ID, 'tab\there').`, "tab\there"},
+		{`Nodes(ID) :- Person(ID, 'line\nbreak').`, "line\nbreak"},
+		// A single quote is fine inside a double-quoted literal and
+		// vice versa, no escape needed.
+		{`Nodes(ID) :- Person(ID, "O'Brien").`, "O'Brien"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src + "\nEdges(A, B) :- R(A, B).")
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		term := p.Nodes[0].Body[0].Terms[1]
+		if term.Kind != TermString || term.Str != c.want {
+			t.Fatalf("%s: got %q, want %q", c.src, term.Str, c.want)
+		}
+	}
+}
+
+func TestStringEscapeErrors(t *testing.T) {
+	for _, src := range []string{
+		`Nodes(ID) :- Person(ID, 'bad \q escape').`,
+		`Nodes(ID) :- Person(ID, 'trailing \`,
+		`Nodes(ID) :- Person(ID, 'unterminated).`,
+	} {
+		if _, err := Parse(src + "\nEdges(A, B) :- R(A, B)."); err == nil {
+			t.Fatalf("%s: expected a lexer error", src)
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //
 // Body atoms reference database tables positionally; terms are variables,
 // the wildcard _, or constants (integers and quoted strings) which act as
-// selection predicates.
+// selection predicates. String literals accept either quote style and the
+// escape sequences \', \", \\, \n, and \t.
 package datalog
 
 import (
@@ -158,6 +159,22 @@ func (l *lexer) next() (token, error) {
 			c := l.advance()
 			if c == quote {
 				break
+			}
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, l.errorf("unterminated string literal")
+				}
+				switch e := l.advance(); e {
+				case '\\', '\'', '"':
+					sb.WriteRune(e)
+				case 'n':
+					sb.WriteRune('\n')
+				case 't':
+					sb.WriteRune('\t')
+				default:
+					return token{}, l.errorf("unknown escape sequence \\%c in string literal", e)
+				}
+				continue
 			}
 			sb.WriteRune(c)
 		}

@@ -2,74 +2,127 @@ package extract
 
 import (
 	"fmt"
+	"strings"
 
 	"graphgen/internal/core"
 	"graphgen/internal/datalog"
 	"graphgen/internal/relstore"
 )
 
-// This file implements the condensed extraction algorithm of Section 4.2
-// for one Case-1 chain: mark large-output joins, evaluate the in-between
-// subchains as database queries, materialize virtual nodes per distinct
-// large-join attribute value, and wire the three kinds of condensed edges.
+// This file implements the condensed extraction algorithm of Section 4.2:
+// classify each join of a Case-1 chain as large-output or not, split the
+// chain into segments at the large joins, evaluate the segments as database
+// queries, and materialize virtual nodes per distinct large-join attribute
+// value with the three kinds of condensed edges.
+//
+// Planning (PlanEdges) is exposed separately from materialization
+// (wirePlan) so that the incremental-maintenance subsystem
+// (internal/incremental) can reuse the planner's segment structure to keep
+// per-segment delta counts aligned with the wiring Extract produces.
 
-// segment is a maximal run of chain steps without an interior large-output
-// join. inVar/outVar are its boundary variables.
-type segment struct {
-	lo, hi int // step index range, inclusive
-	inVar  string
-	outVar string
+// SegmentPlan is a maximal run of chain atoms without an interior
+// large-output join. InVar/OutVar are its boundary variables: the left edge
+// endpoint (or previous large-join attribute) and the right edge endpoint
+// (or next large-join attribute).
+type SegmentPlan struct {
+	Atoms  []datalog.Atom
+	InVar  string
+	OutVar string
 }
 
-func loadEdgesChain(db *relstore.DB, g *core.Graph, chain *Chain, opts Options, st *Stats) error {
+// EdgePlan is the extraction plan for one Edges rule. A single segment
+// means the whole rule is handed to the database and loads direct edges;
+// n > 1 segments are wired through n-1 virtual-node families (one per
+// large-output join attribute, layered in chain order).
+type EdgePlan struct {
+	Rule     datalog.Rule
+	Segments []SegmentPlan
+	// Case2 records that the rule body is not an acyclic chain and fell
+	// back to full expansion (its single segment is the whole body).
+	Case2 bool
+	// Symmetric records that the chain is its own mirror image, making
+	// the extracted edges undirected.
+	Symmetric bool
+	// LargeJoins and DatabaseJoins count the planner's classification of
+	// the rule's joins.
+	LargeJoins    int
+	DatabaseJoins int
+}
+
+// PlanEdges classifies rule and returns its extraction plan. Rules whose
+// body is not an acyclic chain (Case 2) plan as one full-expansion segment;
+// chain rules split into segments at the large-output joins.
+func PlanEdges(db *relstore.DB, rule datalog.Rule, opts Options) (*EdgePlan, error) {
+	chain, err := datalog.AnalyzeChain(rule)
+	if err != nil {
+		// Case 2: the whole body is one database query over the head
+		// endpoints.
+		id1 := rule.Head.Terms[0].Var
+		id2 := rule.Head.Terms[1].Var
+		return &EdgePlan{
+			Rule:          rule,
+			Case2:         true,
+			Segments:      []SegmentPlan{{Atoms: rule.Body, InVar: id1, OutVar: id2}},
+			DatabaseJoins: len(rule.Body) - 1,
+		}, nil
+	}
+	plan := &EdgePlan{Rule: rule, Symmetric: chainSymmetric(chain)}
 	n := len(chain.Steps)
 	// Classify each of the n-1 joins.
 	large := make([]bool, len(chain.JoinVars))
 	for i, v := range chain.JoinVars {
 		isLarge, err := joinIsLarge(db, chain.Steps[i], chain.Steps[i+1], v, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		large[i] = isLarge
 		if isLarge {
-			st.LargeOutputJoins++
+			plan.LargeJoins++
 		} else {
-			st.DatabaseJoins++
+			plan.DatabaseJoins++
 		}
 	}
 	// Split into segments at the large joins.
-	var segs []segment
+	addSeg := func(lo, hi int) {
+		atoms := make([]datalog.Atom, 0, hi-lo+1)
+		for k := lo; k <= hi; k++ {
+			atoms = append(atoms, chain.Steps[k].Atom)
+		}
+		plan.Segments = append(plan.Segments, SegmentPlan{
+			Atoms: atoms, InVar: chain.Steps[lo].InVar, OutVar: chain.Steps[hi].OutVar,
+		})
+	}
 	lo := 0
 	for i := 0; i < len(large); i++ {
 		if large[i] {
-			segs = append(segs, segment{lo: lo, hi: i, inVar: chain.Steps[lo].InVar, outVar: chain.Steps[i].OutVar})
+			addSeg(lo, i)
 			lo = i + 1
 		}
 	}
-	segs = append(segs, segment{lo: lo, hi: n - 1, inVar: chain.Steps[lo].InVar, outVar: chain.Steps[n-1].OutVar})
+	addSeg(lo, n-1)
+	return plan, nil
+}
 
-	// Evaluate each segment against the database (SELECT DISTINCT of its
-	// boundary variables over the subchain join).
-	rels := make([]*relstore.Rel, len(segs))
-	for i, s := range segs {
-		atoms := make([]datalog.Atom, 0, s.hi-s.lo+1)
-		for k := s.lo; k <= s.hi; k++ {
-			atoms = append(atoms, chain.Steps[k].Atom)
-		}
-		rel, err := evalConjunctive(db, atoms, []string{s.inVar, s.outVar}, true, opts.Workers)
+// wirePlan evaluates the plan's segments against the database and
+// materializes the edges: direct edges for a single-segment plan, condensed
+// virtual-node wiring otherwise (Steps 4-5 of Section 4.2).
+func wirePlan(db *relstore.DB, g *core.Graph, plan *EdgePlan, opts Options, st *Stats) error {
+	rels := make([]*relstore.Rel, len(plan.Segments))
+	for i, s := range plan.Segments {
+		rel, err := EvalConjunctive(db, s.Atoms, []string{s.InVar, s.OutVar}, true, opts.Workers)
 		if err != nil {
 			return err
 		}
 		rels[i] = rel
 	}
 
-	if len(segs) == 1 {
+	if len(plan.Segments) == 1 {
 		// No large-output join: the whole rule was handed to the
 		// database; load direct (expanded) edges.
 		var count int64
 		for _, row := range rels[0].Rows {
-			u, okU := g.RealIndex(asID(row[0]))
-			v, okV := g.RealIndex(asID(row[1]))
+			u, okU := g.RealIndex(AsID(row[0]))
+			v, okV := g.RealIndex(AsID(row[1]))
 			if !okU || !okV {
 				st.SkippedRows++
 				continue
@@ -85,21 +138,17 @@ func loadEdgesChain(db *relstore.DB, g *core.Graph, chain *Chain, opts Options, 
 
 	// Step 4: one virtual-node family per large join attribute; a virtual
 	// node per distinct value. Layer k is the k-th large join (1-based).
-	nAttrs := len(segs) - 1
-	virtOf := make([]map[string]int32, nAttrs)
+	nAttrs := len(plan.Segments) - 1
+	virtOf := make([]map[relstore.Value]int32, nAttrs)
 	for k := range virtOf {
-		virtOf[k] = make(map[string]int32)
+		virtOf[k] = make(map[relstore.Value]int32)
 	}
 	getVirt := func(attr int, v relstore.Value) int32 {
-		key := v.String()
-		if v.T == relstore.Int {
-			key = "i" + key
-		}
-		if idx, ok := virtOf[attr][key]; ok {
+		if idx, ok := virtOf[attr][v]; ok {
 			return idx
 		}
 		idx := g.AddVirtualNode(int32(attr + 1))
-		virtOf[attr][key] = idx
+		virtOf[attr][v] = idx
 		return idx
 	}
 
@@ -108,7 +157,7 @@ func loadEdgesChain(db *relstore.DB, g *core.Graph, chain *Chain, opts Options, 
 		switch {
 		case i == 0:
 			for _, row := range rel.Rows {
-				r, ok := g.RealIndex(asID(row[0]))
+				r, ok := g.RealIndex(AsID(row[0]))
 				if !ok {
 					st.SkippedRows++
 					continue
@@ -117,7 +166,7 @@ func loadEdgesChain(db *relstore.DB, g *core.Graph, chain *Chain, opts Options, 
 			}
 		case i == len(rels)-1:
 			for _, row := range rel.Rows {
-				r, ok := g.RealIndex(asID(row[1]))
+				r, ok := g.RealIndex(AsID(row[1]))
 				if !ok {
 					st.SkippedRows++
 					continue
@@ -188,12 +237,35 @@ func tableColumnFor(db *relstore.DB, atom datalog.Atom, v string) (*relstore.Tab
 	return t, t.Cols[idx].Name, nil
 }
 
-func asID(v relstore.Value) int64 {
+// chainSymmetric reports whether a chain is its own mirror image, which
+// makes the extracted graph undirected (e.g. the co-authors query, whose
+// two halves scan the same table with swapped roles).
+func chainSymmetric(c *datalog.Chain) bool {
+	n := len(c.Steps)
+	for i := 0; i < n; i++ {
+		a := c.Steps[i]
+		b := c.Steps[n-1-i]
+		if !strings.EqualFold(a.Atom.Pred, b.Atom.Pred) {
+			return false
+		}
+		ai, _ := a.Atom.TermIndex(a.InVar)
+		ao, _ := a.Atom.TermIndex(a.OutVar)
+		bi, _ := b.Atom.TermIndex(b.InVar)
+		bo, _ := b.Atom.TermIndex(b.OutVar)
+		if ai != bo || ao != bi {
+			return false
+		}
+	}
+	return true
+}
+
+// AsID maps a relational value into the real-node ID space. String IDs hash
+// into the int64 space; the generators use integer keys, so that path only
+// serves ad-hoc schemas.
+func AsID(v relstore.Value) int64 {
 	if v.T == relstore.Int {
 		return v.I
 	}
-	// String IDs hash into the int64 space; the generators use integer
-	// keys, so this path only serves ad-hoc schemas.
 	var h int64 = 1469598103934665603
 	for i := 0; i < len(v.S); i++ {
 		h ^= int64(v.S[i])

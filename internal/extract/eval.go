@@ -15,11 +15,11 @@ import (
 // worker pool (internal/parallel) with chunk-ordered merges, so results are
 // identical for every worker count.
 
-// evalConjunctive joins the atoms on their shared variables and projects
+// EvalConjunctive joins the atoms on their shared variables and projects
 // outVars. The atom list must be connected (every atom shares a variable
 // with the part already joined). workers bounds the scan/probe parallelism
 // (<= 0 means GOMAXPROCS).
-func evalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool, workers int) (*relstore.Rel, error) {
+func EvalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool, workers int) (*relstore.Rel, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("extract: empty rule body")
 	}

@@ -7,7 +7,6 @@ package extract
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"graphgen/internal/core"
@@ -91,27 +90,27 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 
 	// Step 1: Nodes statements.
 	for _, rule := range prog.Nodes {
-		if err := loadNodes(db, g, rule, opts); err != nil {
+		if err := LoadNodes(db, g, rule, opts); err != nil {
 			return nil, err
 		}
 	}
-	// Step 2-5: Edges statements.
+	// Step 2-5: Edges statements — plan (classify joins, split into
+	// segments), then materialize.
 	symmetric := true
 	for _, rule := range prog.Edges {
-		chain, err := datalog.AnalyzeChain(rule)
+		plan, err := PlanEdges(db, rule, opts)
 		if err != nil {
-			// Case 2: evaluate the full join and load direct edges.
+			return nil, err
+		}
+		if plan.Case2 {
 			res.Stats.Case2Rules++
-			symmetric = false
-			if err := loadEdgesExpanded(db, g, rule, opts, &res.Stats); err != nil {
-				return nil, err
-			}
-			continue
 		}
-		if !chainSymmetric(chain) {
+		if !plan.Symmetric {
 			symmetric = false
 		}
-		if err := loadEdgesChain(db, g, chain, opts, &res.Stats); err != nil {
+		res.Stats.LargeOutputJoins += plan.LargeJoins
+		res.Stats.DatabaseJoins += plan.DatabaseJoins
+		if err := wirePlan(db, g, plan, opts, &res.Stats); err != nil {
 			return nil, err
 		}
 	}
@@ -141,9 +140,11 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 	return res, nil
 }
 
-// loadNodes evaluates one Nodes rule and adds the result as real nodes with
-// properties named after the head variables.
-func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options) error {
+// LoadNodes evaluates one Nodes rule and adds the result as real nodes with
+// properties named after the head variables. It is exported for the
+// incremental-maintenance subsystem, which builds its own graph from the
+// same rules.
+func LoadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options) error {
 	var outVars []string
 	for _, t := range rule.Head.Terms {
 		if t.Kind != datalog.TermVar {
@@ -151,7 +152,7 @@ func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options) 
 		}
 		outVars = append(outVars, t.Var)
 	}
-	rel, err := evalConjunctive(db, rule.Body, outVars, true, opts.Workers)
+	rel, err := EvalConjunctive(db, rule.Body, outVars, true, opts.Workers)
 	if err != nil {
 		return err
 	}
@@ -166,54 +167,3 @@ func loadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options) 
 	}
 	return nil
 }
-
-// loadEdgesExpanded evaluates a Case 2 rule fully and adds direct edges.
-func loadEdgesExpanded(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options, st *Stats) error {
-	id1 := rule.Head.Terms[0].Var
-	id2 := rule.Head.Terms[1].Var
-	rel, err := evalConjunctive(db, rule.Body, []string{id1, id2}, true, opts.Workers)
-	if err != nil {
-		return err
-	}
-	st.DatabaseJoins += len(rule.Body) - 1
-	var count int64
-	for _, row := range rel.Rows {
-		u, okU := g.RealIndex(row[0].I)
-		v, okV := g.RealIndex(row[1].I)
-		if !okU || !okV {
-			st.SkippedRows++
-			continue
-		}
-		g.AddDirectEdgeIdx(u, v)
-		count++
-		if opts.MaxEdges > 0 && count > opts.MaxEdges {
-			return core.ErrTooLarge
-		}
-	}
-	return nil
-}
-
-// chainSymmetric reports whether a chain is its own mirror image, which
-// makes the extracted graph undirected (e.g. the co-authors query, whose
-// two halves scan the same table with swapped roles).
-func chainSymmetric(c *Chain) bool {
-	n := len(c.Steps)
-	for i := 0; i < n; i++ {
-		a := c.Steps[i]
-		b := c.Steps[n-1-i]
-		if !strings.EqualFold(a.Atom.Pred, b.Atom.Pred) {
-			return false
-		}
-		ai, _ := a.Atom.TermIndex(a.InVar)
-		ao, _ := a.Atom.TermIndex(a.OutVar)
-		bi, _ := b.Atom.TermIndex(b.InVar)
-		bo, _ := b.Atom.TermIndex(b.OutVar)
-		if ai != bo || ao != bi {
-			return false
-		}
-	}
-	return true
-}
-
-// Chain re-exports the analyzed chain type for local signatures.
-type Chain = datalog.Chain

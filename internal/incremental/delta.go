@@ -1,0 +1,196 @@
+package incremental
+
+import (
+	"fmt"
+
+	"graphgen/internal/datalog"
+	"graphgen/internal/relstore"
+)
+
+// This file evaluates segment deltas: the multiset of (InVar, OutVar) rows a
+// single-tuple change contributes to one plan segment. It is the counting
+// variant of the classic delta-rule evaluation for non-recursive queries
+// (Berkholz et al., "Answering FO+MOD queries under updates", PAPERS.md):
+// for a relation R occurring k times in a join, the delta of a single-tuple
+// update decomposes into k disjoint joins, one per occurrence, with the
+// occurrences before the changed one evaluated against the pre-update state
+// and the occurrences after it against the post-update state:
+//
+//	Δ(R' ⋈ R') = (ΔR ⋈ R') ∪ (R ⋈ ΔR)        (insert: R' = R ∪ {t})
+//	Δ(R ⋈ R)   = (ΔR ⋈ R)  ∪ (R' ⋈ ΔR)       (delete: R' = R − {t})
+//
+// Subscribers run after the table has mutated, so "current" is the new
+// state: the pre-update view re-adds one copy of a deleted tuple and drops
+// one copy of an inserted tuple.
+
+// scanAtomRows mirrors extract's atom scan over an explicit row slice:
+// constant terms are selection predicates, intra-atom repeated variables are
+// equality filters, and the surviving rows are projected onto the variable
+// positions under their variable names. binds adds variable = value
+// selection predicates — the semi-join pushdown that keeps a single-tuple
+// delta proportional to its output instead of the table size.
+func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, binds map[string]relstore.Value) (*relstore.Rel, error) {
+	if len(atom.Terms) > len(t.Cols) {
+		return nil, fmt.Errorf("incremental: atom %s has %d terms but table %s has %d columns",
+			atom, len(atom.Terms), t.Name, len(t.Cols))
+	}
+	var consts []relstore.Pred
+	var equalities [][2]int
+	var cols []int
+	var names []string
+	firstPos := make(map[string]int)
+	for i, term := range atom.Terms {
+		switch term.Kind {
+		case datalog.TermInt:
+			consts = append(consts, relstore.Pred{Col: i, Value: relstore.IntVal(term.Int)})
+		case datalog.TermString:
+			consts = append(consts, relstore.Pred{Col: i, Value: relstore.StrVal(term.Str)})
+		case datalog.TermWildcard:
+			// ignored position
+		case datalog.TermVar:
+			if j, dup := firstPos[term.Var]; dup {
+				equalities = append(equalities, [2]int{j, i})
+				continue
+			}
+			firstPos[term.Var] = i
+			cols = append(cols, i)
+			names = append(names, term.Var)
+			if v, bound := binds[term.Var]; bound {
+				consts = append(consts, relstore.Pred{Col: i, Value: v})
+			}
+		}
+	}
+	out := &relstore.Rel{Cols: names}
+rows:
+	for _, row := range rows {
+		for _, p := range consts {
+			if !row[p.Col].Equal(p.Value) {
+				continue rows
+			}
+		}
+		for _, eq := range equalities {
+			if !row[eq[0]].Equal(row[eq[1]]) {
+				continue rows
+			}
+		}
+		proj := make([]relstore.Value, len(cols))
+		for k, c := range cols {
+			proj[k] = row[c]
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+// withoutOneCopy returns rows minus the first copy equal to row.
+func withoutOneCopy(rows [][]relstore.Value, row []relstore.Value) [][]relstore.Value {
+	for i, r := range rows {
+		if relstore.RowsEqual(r, row) {
+			out := make([][]relstore.Value, 0, len(rows)-1)
+			out = append(out, rows[:i]...)
+			return append(out, rows[i+1:]...)
+		}
+	}
+	return rows
+}
+
+// withOneExtra returns rows plus one copy of row.
+func withOneExtra(rows [][]relstore.Value, row []relstore.Value) [][]relstore.Value {
+	out := make([][]relstore.Value, 0, len(rows)+1)
+	out = append(out, rows...)
+	return append(out, row)
+}
+
+// segmentDelta returns the multiset of (inVar, outVar) pairs contributed to
+// the segment join by a single-tuple change to t (insert when insert is
+// true, delete otherwise), summed over every occurrence of t in the
+// segment. tbls resolves each atom to its table. The caller turns each pair
+// into a +1 or -1 count delta.
+func segmentDelta(atoms []datalog.Atom, tbls []*relstore.Table, inVar, outVar string,
+	t *relstore.Table, row []relstore.Value, insert bool, workers int) ([][2]relstore.Value, error) {
+	var out [][2]relstore.Value
+	for i := range atoms {
+		if tbls[i] != t {
+			continue
+		}
+		bound, err := scanAtomRows(atoms[i], t, [][]relstore.Value{row}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(bound.Rows) == 0 {
+			continue // the atom's constant selections filter the tuple out
+		}
+		// Greedy connected join starting from the bound single tuple.
+		// Atoms are scanned lazily: while the intermediate is a single
+		// row, the shared variables' values are pushed into the scan as
+		// selection predicates, so the delta join stays a handful of
+		// filtered scans instead of full hash joins.
+		cur := bound
+		var pending []int
+		for j := range atoms {
+			if j != i {
+				pending = append(pending, j)
+			}
+		}
+		for len(pending) > 0 {
+			picked := -1
+			var shared []string
+			for k, j := range pending {
+				s := sharedVars(cur, atoms[j])
+				if len(s) > 0 {
+					picked, shared = k, s
+					break
+				}
+			}
+			if picked < 0 {
+				return nil, fmt.Errorf("incremental: segment body is disconnected (atom %s shares no variable)", atoms[pending[0]])
+			}
+			j := pending[picked]
+			rows := tbls[j].Rows
+			if tbls[j] == t {
+				// The occurrence convention of the delta rules above.
+				if insert && j < i {
+					rows = withoutOneCopy(rows, row) // pre-insert state
+				} else if !insert && j > i {
+					rows = withOneExtra(rows, row) // pre-delete state
+				}
+			}
+			var binds map[string]relstore.Value
+			if len(cur.Rows) == 1 {
+				binds = make(map[string]relstore.Value, len(shared))
+				for _, v := range shared {
+					c, _ := cur.ColIndex(v)
+					binds[v] = cur.Rows[0][c]
+				}
+			}
+			rel, err := scanAtomRows(atoms[j], tbls[j], rows, binds)
+			if err != nil {
+				return nil, err
+			}
+			joined, err := relstore.MultiJoinWorkers(cur, rel, shared, workers)
+			if err != nil {
+				return nil, err
+			}
+			cur = joined
+			pending = append(pending[:picked], pending[picked+1:]...)
+		}
+		proj, err := relstore.Project(cur, []string{inVar, outVar}, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, prow := range proj.Rows {
+			out = append(out, [2]relstore.Value{prow[0], prow[1]})
+		}
+	}
+	return out, nil
+}
+
+func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
+	var out []string
+	for _, v := range a.Vars() {
+		if _, ok := r.ColIndex(v); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

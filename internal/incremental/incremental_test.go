@@ -1,0 +1,462 @@
+package incremental
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"graphgen/internal/core"
+	"graphgen/internal/datagen"
+	"graphgen/internal/datalog"
+	"graphgen/internal/extract"
+	"graphgen/internal/relstore"
+)
+
+// logicalEdges drains a graph's logical edge set keyed by external IDs.
+func logicalEdges(g *core.Graph) map[[2]int64]bool {
+	out := make(map[[2]int64]bool)
+	g.ForEachReal(func(r int32) bool {
+		g.ForNeighbors(r, func(t int32) bool {
+			out[[2]int64{g.RealID(r), g.RealID(t)}] = true
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// checkEquivalence compares the live graph against a fresh extraction over
+// the current database state.
+func checkEquivalence(t *testing.T, lv *Live, db *relstore.DB, prog *datalog.Program, opts extract.Options, step string) {
+	t.Helper()
+	if err := lv.Flush(); err != nil {
+		t.Fatalf("%s: flush: %v", step, err)
+	}
+	fresh, err := extract.Extract(db, prog, opts)
+	if err != nil {
+		t.Fatalf("%s: fresh extract: %v", step, err)
+	}
+	want := logicalEdges(fresh.Graph)
+	got := logicalEdges(lv.Snapshot())
+	if len(got) != len(want) {
+		t.Fatalf("%s: live has %d logical edges, fresh extract has %d", step, len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("%s: live graph is missing edge %v", step, e)
+		}
+	}
+}
+
+// randomOps drives nOps random single-tuple inserts and deletes against the
+// listed tables, drawing column values from small domains so that duplicate
+// rows, shared join values, and deletes of multi-support pairs all occur.
+// It verifies live-vs-fresh equivalence every checkEvery ops and at the end.
+func randomOps(t *testing.T, rng *rand.Rand, db *relstore.DB, prog *datalog.Program, opts extract.Options,
+	tables []*relstore.Table, domains [][]int64, nOps, checkEvery int) {
+	t.Helper()
+	lv, err := New(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+	for op := 1; op <= nOps; op++ {
+		ti := rng.Intn(len(tables))
+		tbl := tables[ti]
+		if rng.Intn(2) == 0 || tbl.NumRows() == 0 {
+			row := make([]relstore.Value, len(tbl.Cols))
+			for c := range row {
+				dom := domains[ti]
+				row[c] = relstore.IntVal(dom[rng.Intn(len(dom))])
+			}
+			if err := tbl.Insert(row...); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			victim := append([]relstore.Value(nil), tbl.Rows[rng.Intn(tbl.NumRows())]...)
+			if ok, err := tbl.Delete(victim...); err != nil || !ok {
+				t.Fatalf("delete %v: ok=%v err=%v", victim, ok, err)
+			}
+		}
+		if op%checkEvery == 0 {
+			checkEquivalence(t, lv, db, prog, opts, fmt.Sprintf("after op %d", op))
+		}
+	}
+	checkEquivalence(t, lv, db, prog, opts, "final")
+}
+
+// coauthorDB builds the co-authorship schema with a small value domain.
+func coauthorDB(t *testing.T, rng *rand.Rand, nAuthors, nRows int) (*relstore.DB, *relstore.Table) {
+	t.Helper()
+	db := relstore.NewDB()
+	author, err := db.Create("Author",
+		relstore.Column{Name: "id", Type: relstore.Int},
+		relstore.Column{Name: "name", Type: relstore.String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := db.Create("AuthorPub",
+		relstore.Column{Name: "aid", Type: relstore.Int},
+		relstore.Column{Name: "pid", Type: relstore.Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1; a <= nAuthors; a++ {
+		author.Insert(relstore.IntVal(int64(a)), relstore.StrVal(fmt.Sprintf("a%d", a)))
+	}
+	for i := 0; i < nRows; i++ {
+		ap.Insert(relstore.IntVal(int64(rng.Intn(nAuthors)+1)), relstore.IntVal(int64(rng.Intn(6)+1)))
+	}
+	return db, ap
+}
+
+const coauthorQuery = `
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+`
+
+// TestLiveEquivalenceCondensed is the randomized equivalence guarantee for
+// condensed (C-DUP, virtual-node) extraction: after any applied
+// insert/delete sequence the live graph's logical edges equal a fresh
+// extraction's. It runs in -short mode (CI exercises it on every push).
+func TestLiveEquivalenceCondensed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db, ap := coauthorDB(t, rng, 12, 40)
+	prog, err := datalog.Parse(coauthorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := extract.Options{LargeOutputFactor: 2, ForceCondensed: true}
+	domain := make([][]int64, 1)
+	for v := int64(1); v <= 12; v++ {
+		domain[0] = append(domain[0], v)
+	}
+	randomOps(t, rng, db, prog, opts, []*relstore.Table{ap}, domain, 80, 4)
+}
+
+// TestLiveEquivalenceExpanded covers the direct-edge path (every join
+// handed to the database), including the self-join occurrence convention:
+// AuthorPub appears twice in the single segment.
+func TestLiveEquivalenceExpanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	db, ap := coauthorDB(t, rng, 10, 30)
+	prog, err := datalog.Parse(coauthorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := extract.Options{LargeOutputFactor: 2, ForceExpand: true}
+	domain := make([][]int64, 1)
+	for v := int64(1); v <= 10; v++ {
+		domain[0] = append(domain[0], v)
+	}
+	randomOps(t, rng, db, prog, opts, []*relstore.Table{ap}, domain, 60, 4)
+}
+
+// TestLiveEquivalenceMultiLayer covers interior segments: a three-step
+// chain under ForceCondensed gets two large joins, so the middle segment
+// wires virtual-to-virtual edges.
+func TestLiveEquivalenceMultiLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	db := relstore.NewDB()
+	person, _ := db.Create("Person",
+		relstore.Column{Name: "id", Type: relstore.Int},
+		relstore.Column{Name: "name", Type: relstore.String})
+	r, _ := db.Create("R", relstore.Column{Name: "x", Type: relstore.Int}, relstore.Column{Name: "a", Type: relstore.Int})
+	s, _ := db.Create("S", relstore.Column{Name: "a", Type: relstore.Int}, relstore.Column{Name: "b", Type: relstore.Int})
+	u, _ := db.Create("U", relstore.Column{Name: "b", Type: relstore.Int}, relstore.Column{Name: "y", Type: relstore.Int})
+	for p := 1; p <= 10; p++ {
+		person.Insert(relstore.IntVal(int64(p)), relstore.StrVal(fmt.Sprintf("p%d", p)))
+	}
+	for i := 0; i < 20; i++ {
+		r.Insert(relstore.IntVal(int64(rng.Intn(10)+1)), relstore.IntVal(int64(rng.Intn(4)+100)))
+		s.Insert(relstore.IntVal(int64(rng.Intn(4)+100)), relstore.IntVal(int64(rng.Intn(4)+200)))
+		u.Insert(relstore.IntVal(int64(rng.Intn(4)+200)), relstore.IntVal(int64(rng.Intn(10)+1)))
+	}
+	prog, err := datalog.Parse(`
+Nodes(ID, Name) :- Person(ID, Name).
+Edges(X, Y) :- R(X, A), S(A, B), U(B, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := extract.Options{LargeOutputFactor: 2, ForceCondensed: true}
+	domR := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100, 101, 102, 103}
+	domS := []int64{100, 101, 102, 103, 200, 201, 202, 203}
+	domU := []int64{200, 201, 202, 203, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	randomOps(t, rng, db, prog, opts,
+		[]*relstore.Table{r, s, u}, [][]int64{domR, domS, domU}, 90, 5)
+}
+
+// TestLiveEquivalenceCase2 covers non-chain rules (full-expansion Case 2):
+// both endpoints occur in two atoms, so the rule is evaluated as one
+// general conjunctive query.
+func TestLiveEquivalenceCase2(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	db := relstore.NewDB()
+	person, _ := db.Create("Person",
+		relstore.Column{Name: "id", Type: relstore.Int},
+		relstore.Column{Name: "name", Type: relstore.String})
+	f, _ := db.Create("F", relstore.Column{Name: "x", Type: relstore.Int}, relstore.Column{Name: "y", Type: relstore.Int})
+	gt, _ := db.Create("G", relstore.Column{Name: "x", Type: relstore.Int}, relstore.Column{Name: "y", Type: relstore.Int})
+	for p := 1; p <= 8; p++ {
+		person.Insert(relstore.IntVal(int64(p)), relstore.StrVal(fmt.Sprintf("p%d", p)))
+	}
+	for i := 0; i < 25; i++ {
+		f.Insert(relstore.IntVal(int64(rng.Intn(8)+1)), relstore.IntVal(int64(rng.Intn(8)+1)))
+		gt.Insert(relstore.IntVal(int64(rng.Intn(8)+1)), relstore.IntVal(int64(rng.Intn(8)+1)))
+	}
+	prog, err := datalog.Parse(`
+Nodes(ID, Name) :- Person(ID, Name).
+Edges(X, Y) :- F(X, Y), G(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := extract.Options{LargeOutputFactor: 2}
+	dom := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	randomOps(t, rng, db, prog, opts,
+		[]*relstore.Table{f, gt}, [][]int64{dom, dom}, 70, 5)
+}
+
+// TestLiveDuplicateSupport pins the dedup-contract preservation: a logical
+// edge supported twice (duplicate tuple, or two shared join values)
+// survives the deletion of one support.
+func TestLiveDuplicateSupport(t *testing.T) {
+	db := relstore.NewDB()
+	author, _ := db.Create("Author",
+		relstore.Column{Name: "id", Type: relstore.Int},
+		relstore.Column{Name: "name", Type: relstore.String})
+	ap, _ := db.Create("AuthorPub",
+		relstore.Column{Name: "aid", Type: relstore.Int},
+		relstore.Column{Name: "pid", Type: relstore.Int})
+	for a := 1; a <= 3; a++ {
+		author.Insert(relstore.IntVal(int64(a)), relstore.StrVal(fmt.Sprintf("a%d", a)))
+	}
+	// Authors 1 and 2 share pubs 10 and 20; tuple (1, 10) is duplicated.
+	for _, p := range [][2]int64{{1, 10}, {1, 10}, {2, 10}, {1, 20}, {2, 20}, {3, 20}} {
+		ap.Insert(relstore.IntVal(p[0]), relstore.IntVal(p[1]))
+	}
+	prog, _ := datalog.Parse(coauthorQuery)
+	opts := extract.Options{LargeOutputFactor: 2, ForceCondensed: true}
+	lv, err := New(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	// Deleting one copy of the duplicated tuple must not remove 1<->2.
+	if ok, _ := ap.Delete(relstore.IntVal(1), relstore.IntVal(10)); !ok {
+		t.Fatal("delete failed")
+	}
+	if !lv.ExistsEdge(1, 2) {
+		t.Fatal("edge 1->2 lost after deleting one of two duplicate supports")
+	}
+	// Deleting the second copy still leaves pub 20 connecting them.
+	ap.Delete(relstore.IntVal(1), relstore.IntVal(10))
+	if !lv.ExistsEdge(1, 2) {
+		t.Fatal("edge 1->2 lost while pub 20 still connects the authors")
+	}
+	// Removing author 1 from pub 20 finally severs it, but 2<->3 stays.
+	ap.Delete(relstore.IntVal(1), relstore.IntVal(20))
+	if lv.ExistsEdge(1, 2) {
+		t.Fatal("edge 1->2 survived the loss of its last support")
+	}
+	if !lv.ExistsEdge(2, 3) {
+		t.Fatal("unrelated edge 2->3 was damaged by the deletion")
+	}
+	checkEquivalence(t, lv, db, prog, opts, "end")
+}
+
+// TestLiveNodeTableRebuild verifies the documented fallback: changes to a
+// Nodes-rule table trigger a full re-extraction on the next read, including
+// previously skipped edge rows that referenced the new node.
+func TestLiveNodeTableRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	db, ap := coauthorDB(t, rng, 6, 20)
+	author, _ := db.Table("Author")
+	prog, _ := datalog.Parse(coauthorQuery)
+	opts := extract.Options{LargeOutputFactor: 2, ForceCondensed: true}
+	lv, err := New(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+	// Edge rows referencing a not-yet-existing author 99 are skipped...
+	ap.Insert(relstore.IntVal(99), relstore.IntVal(3))
+	checkEquivalence(t, lv, db, prog, opts, "dangling edge rows")
+	// ...until the author appears, which must surface those edges.
+	author.Insert(relstore.IntVal(99), relstore.StrVal("late"))
+	checkEquivalence(t, lv, db, prog, opts, "after node insert")
+	if lv.Stats().Rebuilds == 0 {
+		t.Fatal("node-table change did not trigger a rebuild")
+	}
+	if n := lv.NumVertices(); n != 7 {
+		t.Fatalf("vertices = %d, want 7", n)
+	}
+	// Node deletion also rebuilds.
+	author.Delete(relstore.IntVal(99), relstore.StrVal("late"))
+	checkEquivalence(t, lv, db, prog, opts, "after node delete")
+}
+
+// TestLiveConcurrentReads races readers against update application: tuple
+// mutations happen on one goroutine while others read. Run under -race (CI
+// does) to validate the locking.
+func TestLiveConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	db, ap := coauthorDB(t, rng, 10, 30)
+	prog, _ := datalog.Parse(coauthorQuery)
+	opts := extract.Options{LargeOutputFactor: 2, ForceCondensed: true}
+	lv, err := New(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				u := int64(r.Intn(10) + 1)
+				lv.Neighbors(u)
+				lv.ExistsEdge(u, int64(r.Intn(10)+1))
+				lv.NumVertices()
+			}
+		}(int64(w))
+	}
+	for op := 0; op < 200; op++ {
+		if rng.Intn(2) == 0 || ap.NumRows() == 0 {
+			ap.Insert(relstore.IntVal(int64(rng.Intn(10)+1)), relstore.IntVal(int64(rng.Intn(6)+1)))
+		} else {
+			victim := append([]relstore.Value(nil), ap.Rows[rng.Intn(ap.NumRows())]...)
+			ap.Delete(victim...)
+		}
+	}
+	close(done)
+	wg.Wait()
+	checkEquivalence(t, lv, db, prog, opts, "after concurrent run")
+}
+
+// TestLiveMaintenanceSpeedup demonstrates the point of the subsystem:
+// single-tuple maintenance beats re-extraction by well over the 10x bar on
+// a large dataset. Timing-sensitive, so it is skipped in -short mode.
+func TestLiveMaintenanceSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	db := datagen.DBLPLike(7, 2000, 8000)
+	ap, _ := db.Table("AuthorPub")
+	prog, _ := datalog.Parse(datagen.QueryCoauthors)
+	opts := extract.Options{LargeOutputFactor: 2}
+	lv, err := New(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	// Median of three fresh extractions.
+	var extracts []time.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := extract.Extract(db, prog, opts); err != nil {
+			t.Fatal(err)
+		}
+		extracts = append(extracts, time.Since(start))
+	}
+	reextract := extracts[0]
+	for _, d := range extracts[1:] {
+		if d < reextract {
+			reextract = d // best case for the competitor
+		}
+	}
+
+	const ops = 200
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		aid := relstore.IntVal(int64(i%2000 + 1))
+		pid := relstore.IntVal(int64(1_000_000 + i%500 + 1))
+		ap.Insert(aid, pid)
+		if err := lv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		ap.Delete(aid, pid)
+		if err := lv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perOp := time.Since(start) / (2 * ops)
+	if perOp == 0 {
+		perOp = time.Nanosecond
+	}
+	ratio := float64(reextract) / float64(perOp)
+	t.Logf("re-extract %v vs %v per maintained update: %.0fx", reextract, perOp, ratio)
+	if ratio < 10 {
+		t.Fatalf("maintenance only %.1fx faster than re-extraction, want >= 10x", ratio)
+	}
+	checkEquivalence(t, lv, db, prog, opts, "after speedup run")
+}
+
+// BenchmarkLiveSingleTupleUpdate measures one maintained insert+delete
+// round trip (flush included) on the large co-author dataset.
+func BenchmarkLiveSingleTupleUpdate(b *testing.B) {
+	db := datagen.DBLPLike(7, 2000, 8000)
+	ap, _ := db.Table("AuthorPub")
+	prog, _ := datalog.Parse(datagen.QueryCoauthors)
+	opts := extract.Options{LargeOutputFactor: 2}
+	lv, err := New(db, prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aid := relstore.IntVal(int64(i%2000 + 1))
+		pid := relstore.IntVal(int64(1_000_000 + i%500 + 1))
+		ap.Insert(aid, pid)
+		lv.Flush()
+		ap.Delete(aid, pid)
+		lv.Flush()
+	}
+}
+
+// BenchmarkReextractAfterUpdate is the baseline the subsystem replaces:
+// a full extraction after each update.
+func BenchmarkReextractAfterUpdate(b *testing.B) {
+	db := datagen.DBLPLike(7, 2000, 8000)
+	ap, _ := db.Table("AuthorPub")
+	prog, _ := datalog.Parse(datagen.QueryCoauthors)
+	opts := extract.Options{LargeOutputFactor: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aid := relstore.IntVal(int64(i%2000 + 1))
+		pid := relstore.IntVal(int64(1_000_000 + i%500 + 1))
+		ap.Insert(aid, pid)
+		if _, err := extract.Extract(db, prog, opts); err != nil {
+			b.Fatal(err)
+		}
+		ap.Delete(aid, pid)
+	}
+}
+
+// TestLiveMaxEdges pins that the memory guard is honored at build time
+// instead of being silently dropped.
+func TestLiveMaxEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db, _ := coauthorDB(t, rng, 12, 40)
+	prog, _ := datalog.Parse(coauthorQuery)
+	opts := extract.Options{LargeOutputFactor: 2, ForceCondensed: true, MaxEdges: 1}
+	if _, err := New(db, prog, opts); !errors.Is(err, core.ErrTooLarge) {
+		t.Fatalf("New with MaxEdges=1 = %v, want core.ErrTooLarge", err)
+	}
+}

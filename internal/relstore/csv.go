@@ -9,9 +9,10 @@ import (
 )
 
 // LoadCSV creates a table from CSV data. The first record is the header;
-// column types are inferred from the first data row (integer-parseable
-// values become Int columns, everything else String). Subsequent rows must
-// conform: an Int column with a non-integer value is an error.
+// column types are inferred over ALL data rows: a column is Int only when
+// every row parses as an integer, otherwise it is String (a single
+// non-numeric value anywhere demotes the column rather than failing the
+// load). A header-only file defaults every column to String.
 func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -22,24 +23,32 @@ func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
 	if len(header) == 0 {
 		return nil, fmt.Errorf("relstore: %s: empty CSV header", name)
 	}
-	first, err := cr.Read()
-	if err == io.EOF {
-		// Header-only file: default every column to String.
-		cols := make([]Column, len(header))
-		for i, h := range header {
-			cols[i] = Column{Name: strings.TrimSpace(h), Type: String}
+	// Materialize all records first so inference sees every row; the load
+	// is in-memory anyway.
+	var records [][]string
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
 		}
-		return db.Create(name, cols...)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("relstore: %s: reading first CSV row: %w", name, err)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: %s: CSV row %d: %w", name, line, err)
+		}
+		records = append(records, record)
 	}
 	cols := make([]Column, len(header))
 	for i, h := range header {
 		typ := String
-		if i < len(first) {
-			if _, err := strconv.ParseInt(strings.TrimSpace(first[i]), 10, 64); err == nil {
-				typ = Int
+		if len(records) > 0 {
+			typ = Int
+			for _, record := range records {
+				if i >= len(record) {
+					continue // arity mismatch reported at insert below
+				}
+				if _, err := strconv.ParseInt(strings.TrimSpace(record[i]), 10, 64); err != nil {
+					typ = String
+					break
+				}
 			}
 		}
 		cols[i] = Column{Name: strings.TrimSpace(h), Type: typ}
@@ -48,37 +57,24 @@ func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	insert := func(record []string, line int) error {
+	for n, record := range records {
 		if len(record) != len(cols) {
-			return fmt.Errorf("relstore: %s: CSV row %d has %d fields, want %d", name, line, len(record), len(cols))
+			return nil, fmt.Errorf("relstore: %s: CSV row %d has %d fields, want %d", name, n+2, len(record), len(cols))
 		}
 		row := make([]Value, len(cols))
 		for i, field := range record {
 			field = strings.TrimSpace(field)
 			if cols[i].Type == Int {
-				n, err := strconv.ParseInt(field, 10, 64)
+				v, err := strconv.ParseInt(field, 10, 64)
 				if err != nil {
-					return fmt.Errorf("relstore: %s: CSV row %d column %q: %w", name, line, cols[i].Name, err)
+					return nil, fmt.Errorf("relstore: %s: CSV row %d column %q: %w", name, n+2, cols[i].Name, err)
 				}
-				row[i] = IntVal(n)
+				row[i] = IntVal(v)
 			} else {
 				row[i] = StrVal(field)
 			}
 		}
-		return t.Insert(row...)
-	}
-	if err := insert(first, 2); err != nil {
-		return nil, err
-	}
-	for line := 3; ; line++ {
-		record, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("relstore: %s: CSV row %d: %w", name, line, err)
-		}
-		if err := insert(record, line); err != nil {
+		if err := t.Insert(row...); err != nil {
 			return nil, err
 		}
 	}

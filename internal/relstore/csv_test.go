@@ -42,7 +42,6 @@ func TestLoadCSVErrors(t *testing.T) {
 	cases := []struct{ name, src string }{
 		{"empty", ""},
 		{"short row", "a,b\n1\n"},
-		{"bad int later", "a\n1\nxyz\n"},
 	}
 	for _, c := range cases {
 		db := NewDB()
@@ -57,6 +56,29 @@ func TestLoadCSVErrors(t *testing.T) {
 	}
 	if _, err := db.LoadCSV("T", strings.NewReader("a\n1\n")); err == nil {
 		t.Error("expected duplicate-table error")
+	}
+}
+
+func TestLoadCSVMixedColumn(t *testing.T) {
+	// A column whose first rows are integer-like but whose later rows are
+	// not must demote to String instead of failing the load.
+	db := NewDB()
+	tbl, err := db.LoadCSV("T", strings.NewReader("id,code\n1,42\n2,7a\n3,9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Cols[0].Type != Int {
+		t.Fatalf("id column = %v, want Int", tbl.Cols[0].Type)
+	}
+	if tbl.Cols[1].Type != String {
+		t.Fatalf("code column = %v, want String", tbl.Cols[1].Type)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tbl.NumRows())
+	}
+	// Integer-looking values in the demoted column load as strings.
+	if got := tbl.Rows[0][1]; got.T != String || got.S != "42" {
+		t.Fatalf("row 0 code = %+v, want string \"42\"", got)
 	}
 }
 

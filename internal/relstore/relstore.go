@@ -66,6 +66,33 @@ type Column struct {
 	Type Type
 }
 
+// ChangeOp discriminates the kinds of single-tuple changes a table emits.
+type ChangeOp uint8
+
+// Change operations.
+const (
+	// OpInsert is a tuple insertion.
+	OpInsert ChangeOp = iota
+	// OpDelete is a tuple deletion.
+	OpDelete
+)
+
+// String renders the operation.
+func (op ChangeOp) String() string {
+	if op == OpInsert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Change is one single-tuple mutation of a table, delivered to subscribers
+// after the table has been updated (so subscribers observe the new state).
+// Row is the stored tuple; subscribers must not mutate it.
+type Change struct {
+	Op  ChangeOp
+	Row []Value
+}
+
 // Table is a named relation with a fixed schema and row storage.
 type Table struct {
 	Name string
@@ -76,6 +103,8 @@ type Table struct {
 	// stats
 	statsDirty bool
 	nDistinct  []int
+	// change log subscribers; nil entries are cancelled slots.
+	subs []func(Change)
 }
 
 // NewTable creates an empty table.
@@ -101,7 +130,95 @@ func (t *Table) Insert(row ...Value) error {
 	}
 	t.Rows = append(t.Rows, row)
 	t.statsDirty = true
+	t.notify(Change{Op: OpInsert, Row: row})
 	return nil
+}
+
+// Delete removes the first row equal to the given tuple (all columns) and
+// reports whether one was found. Duplicate rows are legal in a relation
+// here, so a single Delete removes exactly one copy — the change-log
+// counterpart of one Insert.
+func (t *Table) Delete(row ...Value) (bool, error) {
+	if len(row) != len(t.Cols) {
+		return false, fmt.Errorf("relstore: %s: row arity %d, schema arity %d", t.Name, len(row), len(t.Cols))
+	}
+	for i, r := range t.Rows {
+		if RowsEqual(r, row) {
+			t.Rows = append(t.Rows[:i], t.Rows[i+1:]...)
+			t.statsDirty = true
+			t.notify(Change{Op: OpDelete, Row: r})
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// DeleteWhere removes every row for which pred returns true and returns the
+// number removed. Subscribers receive one Change per removed row, in table
+// order, each delivered after that row is gone.
+func (t *Table) DeleteWhere(pred func(row []Value) bool) int {
+	removed := 0
+	for i := 0; i < len(t.Rows); {
+		if !pred(t.Rows[i]) {
+			i++
+			continue
+		}
+		r := t.Rows[i]
+		t.Rows = append(t.Rows[:i], t.Rows[i+1:]...)
+		t.statsDirty = true
+		removed++
+		t.notify(Change{Op: OpDelete, Row: r})
+	}
+	return removed
+}
+
+// Subscribe registers fn to be called synchronously after every single-tuple
+// change to the table, and returns a cancel function. Callbacks run on the
+// mutating goroutine; the table is not safe for concurrent mutation, so
+// callbacks never race with each other. Cancelled slots are reused, so
+// repeated subscribe/cancel cycles do not grow the subscriber list.
+func (t *Table) Subscribe(fn func(Change)) (cancel func()) {
+	slot := -1
+	for i, s := range t.subs {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		t.subs = append(t.subs, fn)
+		slot = len(t.subs) - 1
+	} else {
+		t.subs[slot] = fn
+	}
+	cancelled := false
+	return func() {
+		if !cancelled {
+			cancelled = true
+			t.subs[slot] = nil
+		}
+	}
+}
+
+func (t *Table) notify(ch Change) {
+	for _, fn := range t.subs {
+		if fn != nil {
+			fn(ch)
+		}
+	}
+}
+
+// RowsEqual reports whether two rows are element-wise equal.
+func RowsEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // NumRows returns the table cardinality.

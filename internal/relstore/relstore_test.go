@@ -175,3 +175,83 @@ func TestValueStringAndEqual(t *testing.T) {
 		t.Fatal("Equal broken")
 	}
 }
+
+func TestDeleteAndDeleteWhere(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	before := ap.NumRows()
+	// Duplicate row: delete removes exactly one copy.
+	if err := ap.Insert(IntVal(1), IntVal(10)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ap.Delete(IntVal(1), IntVal(10))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v, want found", ok, err)
+	}
+	if ap.NumRows() != before {
+		t.Fatalf("rows = %d, want %d", ap.NumRows(), before)
+	}
+	if ok, _ := ap.Delete(IntVal(99), IntVal(99)); ok {
+		t.Fatal("Delete of a missing row reported found")
+	}
+	if _, err := ap.Delete(IntVal(1)); err == nil {
+		t.Fatal("expected arity error")
+	}
+	n := ap.DeleteWhere(func(row []Value) bool { return row[1].I == 10 })
+	if n != 3 {
+		t.Fatalf("DeleteWhere removed %d rows, want 3", n)
+	}
+	if got := ap.NumRows() + n; got != before {
+		t.Fatalf("rows+removed = %d, want %d", got, before)
+	}
+	// Deletion invalidates the statistics catalog.
+	d, err := ap.NDistinct("pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("pid distinct after delete = %d, want 2", d)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	var log []Change
+	cancel := ap.Subscribe(func(ch Change) { log = append(log, ch) })
+	var other int
+	cancelOther := ap.Subscribe(func(Change) { other++ })
+	if err := ap.Insert(IntVal(7), IntVal(107)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ap.Delete(IntVal(7), IntVal(107)); !ok {
+		t.Fatal("delete failed")
+	}
+	if len(log) != 2 || log[0].Op != OpInsert || log[1].Op != OpDelete {
+		t.Fatalf("change log = %+v, want insert then delete", log)
+	}
+	if !RowsEqual(log[0].Row, []Value{IntVal(7), IntVal(107)}) {
+		t.Fatalf("insert row = %v", log[0].Row)
+	}
+	if other != 2 {
+		t.Fatalf("second subscriber saw %d changes, want 2", other)
+	}
+	cancelOther()
+	cancel()
+	if err := ap.Insert(IntVal(8), IntVal(108)); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 || other != 2 {
+		t.Fatal("cancelled subscribers still notified")
+	}
+}
+
+func TestSubscribeSlotReuse(t *testing.T) {
+	_, _, ap := makeAuthors(t)
+	for i := 0; i < 50; i++ {
+		cancel := ap.Subscribe(func(Change) {})
+		cancel()
+		cancel() // double-cancel must not clobber a reused slot
+	}
+	if len(ap.subs) != 1 {
+		t.Fatalf("subscriber slots = %d after 50 subscribe/cancel cycles, want 1", len(ap.subs))
+	}
+}

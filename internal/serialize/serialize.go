@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"graphgen/internal/core"
 )
@@ -83,7 +85,10 @@ func WriteJSON(w io.Writer, g *core.Graph) error {
 	return enc.Encode(doc)
 }
 
-// ReadEdgeList parses "src dst" lines into an EXP-mode graph.
+// ReadEdgeList parses "src dst" lines into an EXP-mode graph. Blank and
+// whitespace-only lines and '#' comment lines are skipped; any other line
+// must hold exactly two integer fields (trailing junk is an error, not
+// silently dropped).
 func ReadEdgeList(r io.Reader) (*core.Graph, error) {
 	g := core.New(core.EXP)
 	sc := bufio.NewScanner(r)
@@ -91,13 +96,20 @@ func ReadEdgeList(r io.Reader) (*core.Graph, error) {
 	line := 0
 	for sc.Scan() {
 		line++
-		text := sc.Text()
-		if len(text) == 0 || text[0] == '#' {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
 			continue
 		}
-		var u, v int64
-		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
-			return nil, fmt.Errorf("serialize: line %d: %w", line, err)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("serialize: line %d: want 2 fields \"src dst\", got %d", line, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: line %d: src: %w", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: line %d: dst: %w", line, err)
 		}
 		ui := g.AddRealNode(u)
 		vi := g.AddRealNode(v)

@@ -89,3 +89,27 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("props lost: %+v", doc.Nodes[0])
 	}
 }
+
+func TestEdgeListStrictParsing(t *testing.T) {
+	// Trailing fields must error, not silently load as the first two.
+	if _, err := ReadEdgeList(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("expected error for a 3-field line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Fatal("expected error for a 1-field line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1 x\n")); err == nil {
+		t.Fatal("expected error for a non-integer dst")
+	}
+	// Whitespace-only lines are skipped like empty ones; tabs and runs of
+	// spaces separate fields; an indented comment is still a comment.
+	in := "1 2\n   \t \n\t3\t 4 \n  # indented comment\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.EdgeSetByID()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v, want {1->2, 3->4}", edges)
+	}
+}
