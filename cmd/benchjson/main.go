@@ -1,0 +1,293 @@
+// Command benchjson is the CI benchmark-tracking tool: it converts `go
+// test -bench` text output into a stable JSON artifact and compares two
+// such artifacts for regressions.
+//
+//	go test -run '^$' -bench ... -benchtime=1x -count=3 ./... | benchjson convert -out BENCH_pr.json
+//	benchjson compare -baseline BENCH_baseline.json -pr BENCH_pr.json -max-regression 0.30
+//
+// The JSON schema is committed (BENCH_baseline.json is checked in and
+// reviewed like code):
+//
+//	{
+//	  "schema_version": 1,
+//	  "benchmarks": [
+//	    {"name": "...", "runs_ns_per_op": [..], "median_ns_per_op": N, "count": n}
+//	  ]
+//	}
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so artifacts from machines with different core counts compare.
+// The gate metric is the MINIMUM of the -count runs (noise only ever
+// slows a run down, so the fastest run is the stablest estimate for
+// single-shot -benchtime=1x timings on shared runners); compare fails
+// when a benchmark's PR min exceeds baseline * (1 + max-regression), and
+// when a baseline benchmark is missing from the PR artifact (renames
+// must update the baseline in the same PR). New benchmarks only present
+// in the PR are reported, not failed — they enter the baseline when it
+// is refreshed. Absolute times are machine-dependent: refresh
+// BENCH_baseline.json from a CI run's BENCH_pr.json artifact, not from a
+// developer machine, whenever performance changes intentionally.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"slices"
+	"sort"
+	"strconv"
+)
+
+// SchemaVersion identifies the artifact layout; bump on breaking change.
+const SchemaVersion = 1
+
+// Artifact is the committed-schema benchmark report.
+type Artifact struct {
+	SchemaVersion int         `json:"schema_version"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark aggregates the runs of one benchmark (one name after
+// GOMAXPROCS-suffix normalization). The regression gate compares
+// MinNsPerOp: benchmark noise is one-sided (scheduling jitter only ever
+// slows a run down), so the fastest of the -count runs is the stablest
+// estimate of the code's true cost, especially for -benchtime=1x
+// single-shot runs on shared CI runners. The median is kept for
+// reporting.
+type Benchmark struct {
+	Name          string  `json:"name"`
+	RunsNsPerOp   []int64 `json:"runs_ns_per_op"`
+	MinNsPerOp    int64   `json:"min_ns_per_op"`
+	MedianNsPerOp int64   `json:"median_ns_per_op"`
+	Count         int     `json:"count"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "benchjson: usage: benchjson <convert|compare> [flags]")
+		return 2
+	}
+	switch args[0] {
+	case "convert":
+		return runConvert(args[1:], stdin, stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "benchjson: unknown subcommand %q (valid: convert, compare)\n", args[0])
+		return 2
+	}
+}
+
+func runConvert(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "bench output file (default: stdin)")
+	out := fs.String("out", "", "artifact path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	art, err := Convert(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 1
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline artifact")
+	prPath := fs.String("pr", "BENCH_pr.json", "candidate artifact")
+	maxRegression := fs.Float64("max-regression", 0.30, "fail when a benchmark's min-of-runs slows down by more than this fraction")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	baseline, err := loadArtifact(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	pr, err := loadArtifact(*prPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	report, failed := Compare(baseline, pr, *maxRegression)
+	fmt.Fprint(stdout, report)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func loadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if art.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, this tool reads %d", path, art.SchemaVersion, SchemaVersion)
+	}
+	return &art, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkServerThroughput-8   	     100	    123456 ns/op	  12 B/op
+//
+// Group 1 is the name (GOMAXPROCS suffix excluded), group 2 the ns/op
+// value (go emits a float for sub-ns results).
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// Convert parses `go test -bench` text output into an artifact, grouping
+// repeated runs (-count=N) of one benchmark and recording their median.
+func Convert(r io.Reader) (*Artifact, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	runs := make(map[string][]int64)
+	var order []string
+	start := 0
+	for pos := 0; pos <= len(raw); pos++ {
+		if pos != len(raw) && raw[pos] != '\n' {
+			continue
+		}
+		line := string(raw[start:pos])
+		start = pos + 1
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		if _, seen := runs[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		runs[m[1]] = append(runs[m[1]], int64(ns))
+	}
+	art := &Artifact{SchemaVersion: SchemaVersion}
+	for _, name := range order {
+		ns := runs[name]
+		art.Benchmarks = append(art.Benchmarks, Benchmark{
+			Name:          name,
+			RunsNsPerOp:   ns,
+			MinNsPerOp:    slices.Min(ns),
+			MedianNsPerOp: median(ns),
+			Count:         len(ns),
+		})
+	}
+	return art, nil
+}
+
+// median returns the middle value (lower-middle for even counts) without
+// mutating its input.
+func median(ns []int64) int64 {
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// gateValue is the metric the regression gate compares: the fastest of
+// the recorded runs, falling back to the median for artifacts written
+// before min_ns_per_op existed.
+func gateValue(b Benchmark) int64 {
+	if b.MinNsPerOp > 0 {
+		return b.MinNsPerOp
+	}
+	return b.MedianNsPerOp
+}
+
+// Compare renders a per-benchmark report and reports whether the gate
+// fails: a baseline benchmark missing from pr, or a min-of-runs
+// regression beyond maxRegression.
+func Compare(baseline, pr *Artifact, maxRegression float64) (string, bool) {
+	prByName := make(map[string]Benchmark, len(pr.Benchmarks))
+	for _, b := range pr.Benchmarks {
+		prByName[b.Name] = b
+	}
+	baseByName := make(map[string]Benchmark, len(baseline.Benchmarks))
+	var out string
+	failed := false
+	for _, base := range baseline.Benchmarks {
+		baseByName[base.Name] = base
+		cand, ok := prByName[base.Name]
+		if !ok {
+			out += fmt.Sprintf("MISSING  %s: in baseline but not in PR artifact (update BENCH_baseline.json if renamed)\n", base.Name)
+			failed = true
+			continue
+		}
+		if gateValue(base) <= 0 {
+			out += fmt.Sprintf("SKIP     %s: baseline is %d ns/op\n", base.Name, gateValue(base))
+			continue
+		}
+		ratio := float64(gateValue(cand)) / float64(gateValue(base))
+		verdict := "OK      "
+		if ratio > 1+maxRegression {
+			verdict = "REGRESS "
+			failed = true
+		} else if ratio < 1-maxRegression {
+			verdict = "IMPROVE "
+		}
+		out += fmt.Sprintf("%s %s: %d -> %d ns/op (%.2fx, limit %.2fx)\n",
+			verdict, base.Name, gateValue(base), gateValue(cand), ratio, 1+maxRegression)
+	}
+	for _, cand := range pr.Benchmarks {
+		if _, ok := baseByName[cand.Name]; !ok {
+			out += fmt.Sprintf("NEW      %s: %d ns/op (no baseline; added on next baseline refresh)\n", cand.Name, gateValue(cand))
+		}
+	}
+	return out, failed
+}

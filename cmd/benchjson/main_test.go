@@ -1,0 +1,168 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: graphgen
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1_Extraction/dblp-8         	       1	  51234567 ns/op
+BenchmarkTable1_Extraction/dblp-8         	       1	  49234567 ns/op
+BenchmarkTable1_Extraction/dblp-8         	       1	  53234567 ns/op
+BenchmarkServerThroughput-8               	     100	    123456 ns/op	  12 B/op	       3 allocs/op
+BenchmarkServerThroughput-8               	     120	    120000 ns/op
+BenchmarkServerThroughput-8               	     110	    130000 ns/op
+PASS
+ok  	graphgen	2.345s
+`
+
+func TestConvertGroupsRunsAndStripsGOMAXPROCS(t *testing.T) {
+	art, err := Convert(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", art.SchemaVersion)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(art.Benchmarks), art.Benchmarks)
+	}
+	ext := art.Benchmarks[0]
+	if ext.Name != "BenchmarkTable1_Extraction/dblp" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", ext.Name)
+	}
+	if ext.Count != 3 || ext.MedianNsPerOp != 51234567 || ext.MinNsPerOp != 49234567 {
+		t.Fatalf("aggregates over 3 runs: %+v", ext)
+	}
+	srv := art.Benchmarks[1]
+	if srv.Name != "BenchmarkServerThroughput" || srv.MedianNsPerOp != 123456 || srv.MinNsPerOp != 120000 {
+		t.Fatalf("server benchmark: %+v", srv)
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	art, err := Convert(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 0 {
+		t.Fatalf("parsed benchmarks from noise: %+v", art.Benchmarks)
+	}
+}
+
+func art(pairs ...any) *Artifact {
+	a := &Artifact{SchemaVersion: SchemaVersion}
+	for i := 0; i < len(pairs); i += 2 {
+		ns := int64(pairs[i+1].(int))
+		a.Benchmarks = append(a.Benchmarks, Benchmark{
+			Name: pairs[i].(string), RunsNsPerOp: []int64{ns}, MinNsPerOp: ns, MedianNsPerOp: ns, Count: 1,
+		})
+	}
+	return a
+}
+
+// TestCompareGatesOnMinNotMedian pins the gate metric: a PR whose median
+// regressed from one noisy run but whose fastest run matches the
+// baseline must pass.
+func TestCompareGatesOnMinNotMedian(t *testing.T) {
+	base := art("BenchmarkA", 1000)
+	pr := &Artifact{SchemaVersion: SchemaVersion, Benchmarks: []Benchmark{{
+		Name: "BenchmarkA", RunsNsPerOp: []int64{1000, 2000, 2500}, MinNsPerOp: 1000, MedianNsPerOp: 2000, Count: 3,
+	}}}
+	report, failed := Compare(base, pr, 0.30)
+	if failed {
+		t.Fatalf("min-of-runs within threshold failed the gate:\n%s", report)
+	}
+}
+
+// TestGateValueFallsBackToMedian covers artifacts written before
+// min_ns_per_op existed.
+func TestGateValueFallsBackToMedian(t *testing.T) {
+	if v := gateValue(Benchmark{MedianNsPerOp: 42}); v != 42 {
+		t.Fatalf("fallback gate value = %d, want 42", v)
+	}
+	if v := gateValue(Benchmark{MinNsPerOp: 7, MedianNsPerOp: 42}); v != 7 {
+		t.Fatalf("gate value = %d, want 7", v)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseline *Artifact
+		pr       *Artifact
+		wantFail bool
+		wantMark string
+	}{
+		{
+			name:     "within threshold",
+			baseline: art("BenchmarkA", 1000),
+			pr:       art("BenchmarkA", 1250),
+			wantFail: false,
+			wantMark: "OK",
+		},
+		{
+			name:     "regression beyond 30 percent",
+			baseline: art("BenchmarkA", 1000),
+			pr:       art("BenchmarkA", 1400),
+			wantFail: true,
+			wantMark: "REGRESS",
+		},
+		{
+			name:     "exactly at threshold passes",
+			baseline: art("BenchmarkA", 1000),
+			pr:       art("BenchmarkA", 1300),
+			wantFail: false,
+			wantMark: "OK",
+		},
+		{
+			name:     "improvement",
+			baseline: art("BenchmarkA", 1000),
+			pr:       art("BenchmarkA", 500),
+			wantFail: false,
+			wantMark: "IMPROVE",
+		},
+		{
+			name:     "baseline benchmark missing from pr fails",
+			baseline: art("BenchmarkA", 1000, "BenchmarkB", 2000),
+			pr:       art("BenchmarkA", 1000),
+			wantFail: true,
+			wantMark: "MISSING",
+		},
+		{
+			name:     "new benchmark reported not failed",
+			baseline: art("BenchmarkA", 1000),
+			pr:       art("BenchmarkA", 1000, "BenchmarkNew", 5),
+			wantFail: false,
+			wantMark: "NEW",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			report, failed := Compare(tc.baseline, tc.pr, 0.30)
+			if failed != tc.wantFail {
+				t.Fatalf("failed=%v want %v\n%s", failed, tc.wantFail, report)
+			}
+			if !strings.Contains(report, tc.wantMark) {
+				t.Fatalf("report missing %q:\n%s", tc.wantMark, report)
+			}
+		})
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]int64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %d", m)
+	}
+	if m := median([]int64{4, 1, 3, 2}); m != 2 {
+		t.Fatalf("median even (lower middle) = %d", m)
+	}
+	in := []int64{9, 1}
+	median(in)
+	if in[0] != 9 {
+		t.Fatal("median mutated its input")
+	}
+}

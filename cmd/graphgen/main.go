@@ -8,118 +8,246 @@
 //	graphgen -dataset dblp -query-file coauthors.dl -analyze pagerank
 //	graphgen -dataset tpch -rep bitmap -out graph.el
 //	graphgen -validate 'Nodes(A):-R(A). Edges(A,B):-R(A,X),R(B,X).'
+//
+// Exit codes: 0 on success, 1 on runtime failure (I/O, extraction,
+// serialization), 2 on usage errors (unknown flags or invalid flag
+// values — the error lists the valid options).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"strings"
 
 	"graphgen"
 	"graphgen/internal/datagen"
 )
 
-func main() {
-	dataset := flag.String("dataset", "dblp", "built-in dataset: dblp, imdb, tpch, univ")
-	queryFile := flag.String("query-file", "", "file containing the extraction query (default: the dataset's canonical query)")
-	rep := flag.String("rep", "cdup", "target representation: cdup, exp, dedup1, dedup2, bitmap")
-	analyze := flag.String("analyze", "", "analysis to run: degree, bfs, pagerank, components, triangles")
-	out := flag.String("out", "", "write the expanded edge list to this file")
-	outJSON := flag.String("out-json", "", "write the graph as JSON to this file")
-	validate := flag.String("validate", "", "parse and classify a query (Case 1 vs Case 2) and exit")
-	seed := flag.Int64("seed", 1, "dataset generator seed")
-	suggestFlag := flag.Bool("suggest", false, "propose candidate extraction queries for the dataset's schema and exit")
-	csvTables := flag.String("csv", "", "comma-separated name=path.csv pairs loaded into a fresh database instead of -dataset")
-	workers := flag.Int("workers", 0, "worker-pool parallelism for extraction and conversion (0 = GOMAXPROCS, 1 = serial)")
-	flag.Parse()
+// Valid flag-value sets, shared by dispatch and error messages.
+var (
+	validReps     = []string{"cdup", "exp", "dedup1", "dedup2", "bitmap"}
+	validAnalyses = []string{"degree", "bfs", "pagerank", "components", "triangles"}
+)
 
-	if *validate != "" {
-		cases, err := graphgen.Validate(*validate)
+// usageError marks a flag-validation failure: run exits 2 instead of 1.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the parsed, validated flag set — the flag-to-pipeline
+// dispatch input, separated from flag.Parse so tests can drive it.
+type config struct {
+	dataset   string
+	queryFile string
+	rep       graphgen.Representation
+	analyze   string
+	out       string
+	outJSON   string
+	validate  string
+	seed      int64
+	suggest   bool
+	csvTables string
+	workers   int
+}
+
+// errParseReported marks a flag.Parse failure: the FlagSet has already
+// printed the error and usage to stderr, so run must not print it again.
+var errParseReported = errors.New("flag parse error (already reported)")
+
+// run parses and validates flags, then dispatches the pipeline. It is
+// the testable entry point behind main.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		if !errors.Is(err, errParseReported) {
+			fmt.Fprintln(stderr, "graphgen:", err)
+		}
+		return 2
+	}
+	if err := dispatch(cfg, stdout); err != nil {
+		fmt.Fprintln(stderr, "graphgen:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// parseFlags parses the command line and validates every enumerated flag
+// value, so bad invocations fail before any dataset is generated.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataset := fs.String("dataset", "dblp", "built-in dataset: "+strings.Join(datagen.BuiltinDatasets, ", "))
+	queryFile := fs.String("query-file", "", "file containing the extraction query (default: the dataset's canonical query)")
+	rep := fs.String("rep", "cdup", "target representation: "+strings.Join(validReps, ", "))
+	analyze := fs.String("analyze", "", "analysis to run: "+strings.Join(validAnalyses, ", "))
+	out := fs.String("out", "", "write the expanded edge list to this file")
+	outJSON := fs.String("out-json", "", "write the graph as JSON to this file")
+	validate := fs.String("validate", "", "parse and classify a query (Case 1 vs Case 2) and exit")
+	seed := fs.Int64("seed", 1, "dataset generator seed")
+	suggestFlag := fs.Bool("suggest", false, "propose candidate extraction queries for the dataset's schema and exit")
+	csvTables := fs.String("csv", "", "comma-separated name=path.csv pairs loaded into a fresh database instead of -dataset")
+	workers := fs.Int("workers", 0, "worker-pool parallelism for extraction and conversion (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return config{}, err
+		}
+		return config{}, fmt.Errorf("%w: %v", errParseReported, err)
+	}
+	cfg := config{
+		dataset:   *dataset,
+		queryFile: *queryFile,
+		analyze:   *analyze,
+		out:       *out,
+		outJSON:   *outJSON,
+		validate:  *validate,
+		seed:      *seed,
+		suggest:   *suggestFlag,
+		csvTables: *csvTables,
+		workers:   *workers,
+	}
+	var err error
+	if cfg.rep, err = parseRep(*rep); err != nil {
+		return config{}, err
+	}
+	if cfg.analyze != "" && !slices.Contains(validAnalyses, strings.ToLower(cfg.analyze)) {
+		return config{}, usagef("unknown -analyze %q (valid: %s)", cfg.analyze, strings.Join(validAnalyses, ", "))
+	}
+	cfg.analyze = strings.ToLower(cfg.analyze)
+	return cfg, nil
+}
+
+// dispatch routes a validated config through the pipeline: validate-only
+// and suggest-only modes short-circuit; otherwise extract, convert,
+// analyze, serialize.
+func dispatch(cfg config, stdout io.Writer) error {
+	if cfg.validate != "" {
+		cases, err := graphgen.Validate(cfg.validate)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for i, ok := range cases {
 			kind := "Case 2 (full expansion)"
 			if ok {
 				kind = "Case 1 (condensable chain)"
 			}
-			fmt.Printf("Edges rule %d: %s\n", i+1, kind)
+			fmt.Fprintf(stdout, "Edges rule %d: %s\n", i+1, kind)
 		}
-		return
+		return nil
 	}
 
-	var db *graphgen.DB
-	var query string
-	if *csvTables != "" {
-		db = graphgen.NewDB()
-		for _, pair := range strings.Split(*csvTables, ",") {
-			name, path, ok := strings.Cut(pair, "=")
-			if !ok {
-				fatal(fmt.Errorf("-csv needs name=path pairs, got %q", pair))
-			}
-			f, err := os.Open(path)
-			if err != nil {
-				fatal(err)
-			}
-			_, err = db.LoadCSV(name, f)
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-		}
-	} else {
-		db, query = builtinDataset(*dataset, *seed)
+	db, query, err := loadDatabase(cfg)
+	if err != nil {
+		return err
 	}
-	if *queryFile != "" {
-		data, err := os.ReadFile(*queryFile)
+	if cfg.queryFile != "" {
+		data, err := os.ReadFile(cfg.queryFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		query = string(data)
 	}
 
-	if *suggestFlag {
+	if cfg.suggest {
 		props, err := graphgen.Suggest(db)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if len(props) == 0 {
-			fmt.Println("no graph proposals found for this schema")
-			return
+			fmt.Fprintln(stdout, "no graph proposals found for this schema")
+			return nil
 		}
 		for i, p := range props {
-			fmt.Printf("#%d [%s] %s (est. %d edges)\n%s\n", i+1, p.Kind, p.Description, p.EstimatedEdges, indent(p.Query))
+			fmt.Fprintf(stdout, "#%d [%s] %s (est. %d edges)\n%s\n", i+1, p.Kind, p.Description, p.EstimatedEdges, indent(p.Query))
 		}
-		return
+		return nil
 	}
 	if query == "" {
-		fatal(fmt.Errorf("no query: pass -query-file or use a built-in -dataset"))
+		return usagef("no query: pass -query-file or use a built-in -dataset")
 	}
 
-	engine := graphgen.NewEngine(db, graphgen.WithParallelism(*workers))
+	engine := graphgen.NewEngine(db, graphgen.WithParallelism(cfg.workers))
 	g, err := engine.Extract(query)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	st := g.ExtractionStats()
-	fmt.Printf("extracted %s graph: %d vertices, %d virtual nodes, %d representation edges\n",
+	fmt.Fprintf(stdout, "extracted %s graph: %d vertices, %d virtual nodes, %d representation edges\n",
 		g.Representation(), g.NumVertices(), g.NumVirtualNodes(), g.RepEdges())
-	fmt.Printf("planner: %d large-output joins postponed, %d joins handed to the database, %d Case-2 rules\n",
+	fmt.Fprintf(stdout, "planner: %d large-output joins postponed, %d joins handed to the database, %d Case-2 rules\n",
 		st.LargeOutputJoins, st.DatabaseJoins, st.Case2Rules)
 
-	if target := parseRep(*rep); target != g.Representation() {
-		conv, err := g.As(target, graphgen.DedupOptions{Workers: *workers})
+	if cfg.rep != g.Representation() {
+		conv, err := g.As(cfg.rep, graphgen.DedupOptions{Workers: cfg.workers})
 		if err != nil {
-			fatal(fmt.Errorf("converting to %v: %w", target, err))
+			return fmt.Errorf("converting to %v: %w", cfg.rep, err)
 		}
 		g = conv
-		fmt.Printf("converted to %s: %d representation edges, ~%.2f MB\n",
+		fmt.Fprintf(stdout, "converted to %s: %d representation edges, ~%.2f MB\n",
 			g.Representation(), g.RepEdges(), float64(g.MemBytes())/(1<<20))
 	}
 
-	switch *analyze {
+	if err := runAnalysis(g, cfg.analyze, stdout); err != nil {
+		return err
+	}
+
+	if cfg.out != "" {
+		if err := writeFile(cfg.out, g.WriteEdgeList); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote edge list to %s\n", cfg.out)
+	}
+	if cfg.outJSON != "" {
+		if err := writeFile(cfg.outJSON, g.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote JSON to %s\n", cfg.outJSON)
+	}
+	return nil
+}
+
+// loadDatabase builds the queried database: CSV tables when -csv is
+// given, otherwise the named built-in dataset with its canonical query.
+func loadDatabase(cfg config) (*graphgen.DB, string, error) {
+	if cfg.csvTables == "" {
+		db, query, err := datagen.ByName(cfg.dataset, cfg.seed)
+		if err != nil {
+			return nil, "", usageError{err}
+		}
+		return db, query, nil
+	}
+	db := graphgen.NewDB()
+	if err := db.LoadCSVFiles(cfg.csvTables); err != nil {
+		if errors.Is(err, graphgen.ErrCSVSpec) {
+			return nil, "", usageError{err}
+		}
+		return nil, "", err
+	}
+	return db, "", nil
+}
+
+// runAnalysis executes the named analysis and prints its summary line.
+// The name is validated at flag-parse time; "" is a no-op.
+func runAnalysis(g *graphgen.Graph, analyze string, stdout io.Writer) error {
+	switch analyze {
 	case "":
+		return nil
 	case "degree":
 		deg := g.Degrees()
 		max, maxID := -1, int64(0)
@@ -128,12 +256,12 @@ func main() {
 				max, maxID = d, id
 			}
 		}
-		fmt.Printf("degree: max %d at vertex %d\n", max, maxID)
+		fmt.Fprintf(stdout, "degree: max %d at vertex %d\n", max, maxID)
 	case "bfs":
 		it := g.Vertices()
 		src, _ := it.Next()
 		visited, depth := g.BFS(src)
-		fmt.Printf("bfs from %d: visited %d vertices, max depth %d\n", src, visited, depth)
+		fmt.Fprintf(stdout, "bfs from %d: visited %d vertices, max depth %d\n", src, visited, depth)
 	case "pagerank":
 		pr := g.PageRank(20, 0.85)
 		best, bestID := -1.0, int64(0)
@@ -143,72 +271,45 @@ func main() {
 			}
 		}
 		name, _ := g.PropertyOf(bestID, "Name")
-		fmt.Printf("pagerank: top vertex %d (%s) with rank %.6f\n", bestID, name, best)
+		fmt.Fprintf(stdout, "pagerank: top vertex %d (%s) with rank %.6f\n", bestID, name, best)
 	case "components":
 		_, n := g.ConnectedComponents()
-		fmt.Printf("connected components: %d\n", n)
+		fmt.Fprintf(stdout, "connected components: %d\n", n)
 	case "triangles":
-		fmt.Printf("triangles: %d\n", g.CountTriangles())
+		fmt.Fprintf(stdout, "triangles: %d\n", g.CountTriangles())
 	default:
-		fatal(fmt.Errorf("unknown -analyze %q", *analyze))
+		return usagef("unknown -analyze %q (valid: %s)", analyze, strings.Join(validAnalyses, ", "))
 	}
-
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := g.WriteEdgeList(f); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote edge list to %s\n", *out)
-	}
-	if *outJSON != "" {
-		f, err := os.Create(*outJSON)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := g.WriteJSON(f); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote JSON to %s\n", *outJSON)
-	}
+	return nil
 }
 
-func builtinDataset(name string, seed int64) (*graphgen.DB, string) {
-	switch strings.ToLower(name) {
-	case "dblp":
-		return datagen.DBLPLike(seed, 2000, 1600), datagen.QueryCoauthors
-	case "imdb":
-		return datagen.IMDBLike(seed, 1200, 200), datagen.QueryCoactors
-	case "tpch":
-		return datagen.TPCHLike(seed, 250, 1500, 30, 3), datagen.QuerySamePart
-	case "univ":
-		return datagen.UnivLike(seed, 600, 20, 40, 4), datagen.QuerySameCourse
-	default:
-		fatal(fmt.Errorf("unknown dataset %q (have dblp, imdb, tpch, univ)", name))
-		return nil, ""
-	}
-}
-
-func parseRep(s string) graphgen.Representation {
+func parseRep(s string) (graphgen.Representation, error) {
 	switch strings.ToLower(s) {
 	case "cdup", "c-dup":
-		return graphgen.CDUP
+		return graphgen.CDUP, nil
 	case "exp":
-		return graphgen.EXP
+		return graphgen.EXP, nil
 	case "dedup1", "dedup-1":
-		return graphgen.DEDUP1
+		return graphgen.DEDUP1, nil
 	case "dedup2", "dedup-2":
-		return graphgen.DEDUP2
+		return graphgen.DEDUP2, nil
 	case "bitmap", "bmp":
-		return graphgen.BITMAP
+		return graphgen.BITMAP, nil
 	default:
-		fatal(fmt.Errorf("unknown representation %q", s))
-		return graphgen.CDUP
+		return graphgen.CDUP, usagef("unknown representation %q (valid: %s)", s, strings.Join(validReps, ", "))
 	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func indent(s string) string {
@@ -217,9 +318,4 @@ func indent(s string) string {
 		lines[i] = "    " + lines[i]
 	}
 	return strings.Join(lines, "\n")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "graphgen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunDispatch is the table-driven flag-to-pipeline dispatch test: for
+// each invocation it checks the process exit code and a substring of the
+// stream the outcome is reported on (stdout for results, stderr for
+// errors). Usage errors exit 2 and name the valid options; runtime
+// failures exit 1.
+func TestRunDispatch(t *testing.T) {
+	tmp := t.TempDir()
+	edgeFile := filepath.Join(tmp, "out.el")
+	queryFile := filepath.Join(tmp, "q.dl")
+	if err := os.WriteFile(queryFile, []byte(
+		"Nodes(ID, Name) :- Student(ID, Name).\nEdges(A, B) :- TookCourse(A, C), TookCourse(B, C).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badQueryFile := filepath.Join(tmp, "bad.dl")
+	if err := os.WriteFile(badQueryFile, []byte("Nodes("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string // substring; "" skips the check
+		wantStderr string
+	}{
+		{
+			name:       "validate case 1",
+			args:       []string{"-validate", "Nodes(A):-R(A). Edges(A,B):-R(A,X),R(B,X)."},
+			wantCode:   0,
+			wantStdout: "Case 1 (condensable chain)",
+		},
+		{
+			name:       "validate parse error exits 1",
+			args:       []string{"-validate", "Nodes("},
+			wantCode:   1,
+			wantStderr: "graphgen:",
+		},
+		{
+			name:       "extraction on builtin dataset",
+			args:       []string{"-dataset", "univ"},
+			wantCode:   0,
+			wantStdout: "extracted",
+		},
+		{
+			name:       "analysis dispatch",
+			args:       []string{"-dataset", "univ", "-analyze", "components"},
+			wantCode:   0,
+			wantStdout: "connected components:",
+		},
+		{
+			name:       "representation conversion dispatch",
+			args:       []string{"-dataset", "univ", "-rep", "exp"},
+			wantCode:   0,
+			wantStdout: "converted to EXP",
+		},
+		{
+			name:       "edge list output",
+			args:       []string{"-dataset", "univ", "-out", edgeFile},
+			wantCode:   0,
+			wantStdout: "wrote edge list",
+		},
+		{
+			name:       "query file override",
+			args:       []string{"-dataset", "univ", "-query-file", queryFile, "-analyze", "degree"},
+			wantCode:   0,
+			wantStdout: "degree: max",
+		},
+		{
+			name:       "suggest mode",
+			args:       []string{"-dataset", "univ", "-suggest"},
+			wantCode:   0,
+			wantStdout: "co-membership",
+		},
+		{
+			name:       "unknown dataset exits 2 and lists options",
+			args:       []string{"-dataset", "oracle"},
+			wantCode:   2,
+			wantStderr: "valid: dblp, imdb, tpch, univ",
+		},
+		{
+			name:       "unknown rep exits 2 and lists options",
+			args:       []string{"-rep", "csr"},
+			wantCode:   2,
+			wantStderr: "valid: cdup, exp, dedup1, dedup2, bitmap",
+		},
+		{
+			name:       "unknown analyze exits 2 and lists options",
+			args:       []string{"-analyze", "eigenvector"},
+			wantCode:   2,
+			wantStderr: "valid: degree, bfs, pagerank, components, triangles",
+		},
+		{
+			name:       "unknown flag exits 2",
+			args:       []string{"-no-such-flag"},
+			wantCode:   2,
+			wantStderr: "flag provided but not defined",
+		},
+		{
+			name:       "bad csv pair exits 2",
+			args:       []string{"-csv", "nopath"},
+			wantCode:   2,
+			wantStderr: "name=path pairs",
+		},
+		{
+			name:       "missing csv file exits 1",
+			args:       []string{"-csv", "t=" + filepath.Join(tmp, "missing.csv")},
+			wantCode:   1,
+			wantStderr: "no such file",
+		},
+		{
+			name:       "csv db without query exits 2",
+			args:       []string{"-csv", "t=" + mustCSV(t, tmp), "-analyze", "degree"},
+			wantCode:   2,
+			wantStderr: "no query",
+		},
+		{
+			name:       "malformed query file exits 1",
+			args:       []string{"-dataset", "univ", "-query-file", badQueryFile},
+			wantCode:   1,
+			wantStderr: "graphgen:",
+		},
+		{
+			name:       "unwritable out path exits 1",
+			args:       []string{"-dataset", "univ", "-out", filepath.Join(tmp, "no-dir", "x.el")},
+			wantCode:   1,
+			wantStderr: "no such file",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d\nstdout: %s\nstderr: %s", code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// mustCSV writes a tiny CSV table and returns its path.
+func mustCSV(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("id,grp\n1,10\n2,10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseRep(t *testing.T) {
+	for _, s := range []string{"cdup", "C-DUP", "exp", "dedup1", "DEDUP-2", "bitmap", "bmp"} {
+		if _, err := parseRep(s); err != nil {
+			t.Errorf("parseRep(%q) = %v, want nil", s, err)
+		}
+	}
+	if _, err := parseRep("adjacency"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("parseRep(adjacency) = %v, want usage error listing options", err)
+	}
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Executes the serving quickstart (see README.md) against a graphgend
+# it starts on a scratch port, then shuts it down. Run from the repo
+# root:  bash examples/serving/run.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+
+go build -o /tmp/graphgend ./cmd/graphgend
+/tmp/graphgend -addr "$ADDR" -dataset dblp &
+DAEMON=$!
+trap 'kill $DAEMON 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz"; echo
+
+echo "== extract live co-author session =="
+curl -sf -X POST "$BASE/graphs" -d '{
+  "name": "coauth",
+  "live": true,
+  "query": "Nodes(ID, Name) :- Author(ID, Name). Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P)."
+}'
+
+echo "== analyze twice (second is cached) =="
+curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | head -c 400; echo
+curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
+
+echo "== mutate: live graph and cache follow =="
+curl -sf -X POST "$BASE/db/AuthorPub/insert" -d '{"rows": [[1, 99991], [2, 99991]]}'; echo
+curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
+curl -sf "$BASE/graphs/coauth/neighbors?v=1" | head -c 200; echo
+curl -sf -X POST "$BASE/db/AuthorPub/delete" -d '{"row": [2, 99991]}'; echo
+
+echo "== metrics =="
+curl -sf "$BASE/metrics" | head -c 600; echo
+
+echo "== clean up =="
+curl -sf -X DELETE "$BASE/graphs/coauth"; echo
+echo "quickstart OK"

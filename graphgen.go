@@ -62,6 +62,11 @@ const (
 // NewDB creates an empty relational database.
 func NewDB() *DB { return relstore.NewDB() }
 
+// ErrCSVSpec marks a malformed "name=path,..." spec passed to
+// DB.LoadCSVFiles — a usage error for CLI front ends, as opposed to
+// file-system or CSV-parse failures.
+var ErrCSVSpec = relstore.ErrCSVSpec
+
 // IntVal builds an integer Value.
 func IntVal(i int64) Value { return relstore.IntVal(i) }
 
@@ -141,6 +146,14 @@ func NewEngine(db *DB, opts ...Option) *Engine {
 	}
 	return e
 }
+
+// DB returns the relational database the engine extracts from, so a
+// serving layer built over the engine (internal/server, cmd/graphgend)
+// can route table mutations through the same change-logged tables that
+// live graphs subscribe to. Tables are not internally synchronized:
+// callers that mutate concurrently with extraction must serialize those
+// operations themselves.
+func (e *Engine) DB() *DB { return e.db }
 
 // Extract parses and executes an extraction program written in the Datalog
 // DSL and returns the in-memory graph.

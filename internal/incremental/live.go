@@ -98,13 +98,14 @@ type Live struct {
 	prog *datalog.Program
 	opts extract.Options
 
-	// mu guards g, rules, stats, and err; pendMu guards pending.
+	// mu guards g, rules, stats, version, and err; pendMu guards pending.
 	// Lock order: mu before pendMu.
-	mu    sync.RWMutex
-	g     *core.Graph
-	rules []*ruleState
-	stats Stats
-	err   error // first unrecoverable rebuild error, surfaced by Flush/Err
+	mu      sync.RWMutex
+	g       *core.Graph
+	rules   []*ruleState
+	stats   Stats
+	version uint64
+	err     error // first unrecoverable rebuild error, surfaced by Flush/Err
 
 	pendMu  sync.Mutex
 	pending []countDelta
@@ -201,6 +202,7 @@ func (lv *Live) build() error {
 	lv.g = g
 	lv.rules = rules
 	lv.err = nil
+	lv.version++
 	return nil
 }
 
@@ -290,7 +292,11 @@ func (lv *Live) rebuildNow() {
 	lv.pendMu.Unlock()
 	lv.stats.Rebuilds++
 	if err := lv.build(); err != nil {
-		// Keep serving the last good graph; surface via Flush/Err.
+		// Keep serving the last good graph; surface via Flush/Err. The
+		// version still advances: the database moved past the served
+		// snapshot, so cached derivations keyed to older versions must not
+		// be extended to it.
+		lv.version++
 		lv.err = fmt.Errorf("incremental: rebuild failed, serving stale graph: %w", err)
 	}
 }
@@ -326,6 +332,7 @@ func (lv *Live) flushLocked() {
 	}
 	lv.stats.Flushes++
 	lv.stats.DeltaRows += int64(len(pending))
+	lv.version++
 	type partial struct {
 		net   map[countDelta]int // pair identity: n field zeroed
 		order []countDelta
@@ -574,11 +581,62 @@ func (lv *Live) Snapshot() *core.Graph {
 	return lv.g.Clone()
 }
 
+// Version returns the snapshot version: a counter that increases every
+// time the served graph state changes — the initial build, each batched
+// delta application, and every rebuild (including failed rebuilds, where
+// the database has moved past the served snapshot). Pending deltas are
+// applied first, so the returned version accounts for every mutation made
+// before the call. Version is the cache-key half of the serving layer's
+// memoization contract: a derived result (PageRank, components, ...) is
+// reusable if and only if it was computed at the same version.
+func (lv *Live) Version() uint64 {
+	lv.acquire()
+	defer lv.mu.RUnlock()
+	return lv.version
+}
+
+// SnapshotVersioned is Snapshot plus the version the snapshot was taken
+// at, read atomically under one lock acquisition, so a caller can key a
+// derived result to exactly the state it was computed from even while
+// mutations race the read.
+func (lv *Live) SnapshotVersioned() (*core.Graph, uint64) {
+	lv.acquire()
+	defer lv.mu.RUnlock()
+	return lv.g.Clone(), lv.version
+}
+
 // Pending returns the number of queued, not-yet-applied count deltas.
 func (lv *Live) Pending() int {
 	lv.pendMu.Lock()
 	defer lv.pendMu.Unlock()
 	return len(lv.pending)
+}
+
+// Summary is a consistent point-in-time view of the live graph's size
+// and maintenance position, read under one lock acquisition.
+type Summary struct {
+	Vertices     int
+	LogicalEdges int64
+	Version      uint64
+	Pending      int
+}
+
+// Summarize applies pending deltas and returns vertices, logical edges,
+// version, and the (post-flush) pending count atomically — four separate
+// accessor calls could interleave with a concurrent mutation and report
+// a torn view (e.g. pre-flush vertices next to a post-flush version).
+func (lv *Live) Summarize() Summary {
+	lv.acquire()
+	defer lv.mu.RUnlock()
+	lv.pendMu.Lock()
+	pending := len(lv.pending)
+	lv.pendMu.Unlock()
+	return Summary{
+		Vertices:     lv.g.NumRealNodes(),
+		LogicalEdges: lv.g.LogicalEdges(),
+		Version:      lv.version,
+		Pending:      pending,
+	}
 }
 
 // Stats returns maintenance counters (after applying pending deltas).

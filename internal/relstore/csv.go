@@ -2,11 +2,40 @@ package relstore
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
+
+// ErrCSVSpec marks a malformed -csv flag value passed to LoadCSVFiles —
+// a usage error for CLI front ends (exit 2), as opposed to file-system
+// or parse failures (exit 1).
+var ErrCSVSpec = errors.New("csv spec must be comma-separated name=path pairs")
+
+// LoadCSVFiles loads a "name=path.csv,name=path.csv" spec — the -csv
+// flag format shared by cmd/graphgen and cmd/graphgend — into db, one
+// table per pair.
+func (db *DB) LoadCSVFiles(spec string) error {
+	for _, pair := range strings.Split(spec, ",") {
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("%w: got %q", ErrCSVSpec, pair)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, err = db.LoadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+	}
+	return nil
+}
 
 // LoadCSV creates a table from CSV data. The first record is the header;
 // column types are inferred over ALL data rows: a column is Int only when

@@ -1,0 +1,116 @@
+package serialize
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphgen/internal/core"
+)
+
+// TestReadEdgeListTruncatedAndMalformed exercises the edge-list reader's
+// failure paths: truncated rows, non-integer fields, oversized lines, and
+// trailing junk — each must fail loudly with the offending line number,
+// never silently drop data.
+func TestReadEdgeListTruncatedAndMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"truncated row", "1 2\n3\n", "line 2"},
+		{"trailing field", "1 2\n3 4 5\n", "line 2"},
+		{"bad src", "x 2\n", "src"},
+		{"bad dst", "1 x\n", "dst"},
+		{"truncated after comment", "# header\n7\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadEdgeList(%q) err = %v, want mention of %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListOversizedLine pins the scanner error path: a line
+// beyond the 1 MiB buffer is an error, not an OOM or silent truncation.
+func TestReadEdgeListOversizedLine(t *testing.T) {
+	long := strings.Repeat("9", 2*1024*1024)
+	_, err := ReadEdgeList(strings.NewReader("1 " + long + "\n"))
+	if err == nil {
+		t.Fatal("ReadEdgeList accepted a 2 MiB line")
+	}
+}
+
+// TestReadCondensedTruncatedRecords drives every malformed-record branch
+// of the condensed reader, as would result from a truncated or corrupted
+// file.
+func TestReadCondensedTruncatedRecords(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty input", "", "empty input"},
+		{"blank lines only", "\n\n", "empty input"},
+		{"truncated header", "G 0 false\n", "malformed header"},
+		{"bad mode", "G x false false\n", "bad mode"},
+		{"node before header", "N 1\n", "before header"},
+		{"node missing id", "G 0 false false\nN\n", "missing id"},
+		{"bad node id", "G 0 false false\nN abc\n", "bad node id"},
+		{"bad property", "G 0 false false\nN 1 nokv\n", "bad property"},
+		{"truncated virtual", "G 0 false false\nV 0\n", "malformed virtual node"},
+		{"bad virtual fields", "G 0 false false\nV zero one\n", "bad virtual node fields"},
+		{"truncated edge", "G 0 false false\nS 0\n", "malformed edge"},
+		{"bad edge endpoints", "G 0 false false\nS zero 1\n", "bad edge endpoints"},
+		{"source unknown virtual", "G 0 false false\nN 1\nS 0 1\n", "unknown endpoint"},
+		{"target unknown virtual", "G 0 false false\nN 1\nT 0 1\n", "unknown endpoint"},
+		{"virt-virt unknown", "G 0 false false\nV 0 1\nW 0 1\n", "unknown virtual endpoint"},
+		{"undirected unknown", "G 0 false false\nV 0 1\nU 0 1\n", "unknown virtual endpoint"},
+		{"direct unknown real", "G 0 false false\nN 1\nD 1 2\n", "unknown direct endpoint"},
+		{"unknown record", "G 0 false false\nZ 1 2\n", "unknown record"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCondensed(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadCondensed(%q) err = %v, want mention of %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadCondensedOversizedLine pins the scanner error propagation of
+// the condensed reader.
+func TestReadCondensedOversizedLine(t *testing.T) {
+	in := "G 0 false false\nN 1 k=" + strings.Repeat("v", 2*1024*1024) + "\n"
+	_, err := ReadCondensed(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("ReadCondensed accepted a 2 MiB line")
+	}
+}
+
+// failWriter fails every write, for the writer error paths.
+type failWriter struct{}
+
+var errSink = errors.New("sink failed")
+
+func (failWriter) Write([]byte) (int, error) { return 0, errSink }
+
+func TestWritersPropagateWriterErrors(t *testing.T) {
+	g := core.New(core.EXP)
+	u := g.AddRealNode(1)
+	v := g.AddRealNode(2)
+	g.AddDirectEdgeIdx(u, v)
+	if err := WriteEdgeList(failWriter{}, g); err == nil {
+		t.Fatal("WriteEdgeList swallowed the writer error")
+	}
+	if err := WriteJSON(failWriter{}, g); err == nil {
+		t.Fatal("WriteJSON swallowed the writer error")
+	}
+	if err := WriteCondensed(failWriter{}, g); err == nil {
+		t.Fatal("WriteCondensed swallowed the writer error")
+	}
+}

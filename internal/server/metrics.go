@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RouteStats aggregates the requests served by one route pattern.
+type RouteStats struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"` // responses with status >= 400
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+	totalNS int64
+	maxNS   int64
+}
+
+// metrics tracks per-route request counters and latencies. It is the
+// /metrics backing store; the cache keeps its own counters.
+type metrics struct {
+	mu     sync.Mutex
+	start  time.Time
+	routes map[string]*RouteStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: make(map[string]*RouteStats)}
+}
+
+// observe records one served request.
+func (m *metrics) observe(route string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &RouteStats{}
+		m.routes[route] = rs
+	}
+	rs.Count++
+	if status >= 400 {
+		rs.Errors++
+	}
+	ns := elapsed.Nanoseconds()
+	rs.totalNS += ns
+	if ns > rs.maxNS {
+		rs.maxNS = ns
+	}
+}
+
+// snapshot returns uptime and a copy of the per-route stats with derived
+// millisecond fields filled in, keyed by route pattern (JSON marshaling
+// renders map keys in sorted order).
+func (m *metrics) snapshot() (time.Duration, map[string]RouteStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]RouteStats, len(m.routes))
+	for k, v := range m.routes {
+		rs := *v
+		rs.TotalMS = float64(rs.totalNS) / 1e6
+		rs.MaxMS = float64(rs.maxNS) / 1e6
+		if rs.Count > 0 {
+			rs.AvgMS = rs.TotalMS / float64(rs.Count)
+		}
+		out[k] = rs
+	}
+	return time.Since(m.start), out
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler so every request is timed and counted under
+// the given route pattern.
+func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		m.observe(route, rec.status, time.Since(start))
+	}
+}

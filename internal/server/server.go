@@ -1,0 +1,741 @@
+// Package server turns the graphgen library into a long-running graph
+// serving daemon: a concurrent HTTP JSON API that owns an extraction
+// Engine over a loaded relational database and serves named graph
+// sessions — static snapshots or live graphs maintained incrementally as
+// the tables change (cmd/graphgend is the binary front end).
+//
+// Endpoints:
+//
+//	POST   /graphs                          extract a query into a session
+//	GET    /graphs                          list sessions
+//	DELETE /graphs/{name}                   drop a session
+//	GET    /graphs/{name}/stats             size and maintenance counters
+//	GET    /graphs/{name}/neighbors?v=ID    logical out-neighbors
+//	GET    /graphs/{name}/analyze/{algo}    degree|pagerank|components|bfs|triangles
+//	POST   /db/{table}/insert               append rows (live graphs follow)
+//	POST   /db/{table}/delete               remove rows (live graphs follow)
+//	GET    /healthz                         liveness
+//	GET    /metrics                         request/latency/cache counters
+//
+// Analytics results are memoized in a size-bounded LRU keyed by
+// (session instance, snapshot version, analysis, canonical params). Static
+// sessions are frozen at version 0; live sessions use the LiveGraph
+// snapshot version, which advances whenever pending deltas flush or the
+// graph rebuilds — so a mutation invalidates every cached result of the
+// session by construction, and repeated hot queries on an unchanged
+// snapshot cost one cache lookup. See docs/ARCHITECTURE.md ("Serving")
+// for the full cache-key contract.
+//
+// Concurrency: any number of requests run in parallel. Table mutations
+// and extractions are serialized on one mutex (relstore tables are not
+// internally synchronized, and extraction reads table statistics); live
+// graph reads use the incremental subsystem's own locking; static graphs
+// are immutable after extraction and safe for concurrent readers; the
+// cache and metrics have internal locks.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphgen"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheEntries bounds the analytics cache entry count (default 256).
+	CacheEntries int
+	// CacheBytes bounds the analytics cache's total marshaled-result
+	// bytes (default 64 MiB).
+	CacheBytes int64
+	// MaxSessions bounds concurrent named sessions (default 64).
+	MaxSessions int
+}
+
+// session is one served graph: static (detached snapshot) or live
+// (incrementally maintained). Exactly one of static/live is non-nil.
+// id is a daemon-unique instance nonce: cache keys use it instead of
+// the name, so results of a deleted session can never leak into a
+// later session re-created under the same name.
+type session struct {
+	id      uint64
+	name    string
+	query   string
+	static  *graphgen.Graph
+	live    *graphgen.LiveGraph
+	created time.Time
+}
+
+// Server is the graph-serving daemon core, independent of the listener:
+// tests drive it through httptest, cmd/graphgend mounts it on a real
+// port.
+type Server struct {
+	engine *graphgen.Engine
+
+	// dbMu serializes everything that touches relational tables:
+	// inserts, deletes, and extractions (which read rows and the lazily
+	// recomputed statistics catalog). Live-graph reads never touch
+	// tables and run outside it.
+	dbMu sync.Mutex
+
+	sessMu      sync.RWMutex
+	sessions    map[string]*session
+	maxSessions int
+	nextID      atomic.Uint64
+
+	cache   *resultCache
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server over an extraction engine.
+func New(engine *graphgen.Engine, opts Options) *Server {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 64
+	}
+	s := &Server{
+		engine:      engine,
+		sessions:    make(map[string]*session),
+		maxSessions: opts.MaxSessions,
+		cache:       newResultCache(opts.CacheEntries, opts.CacheBytes),
+		metrics:     newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	route("POST /graphs", s.handleCreateGraph)
+	route("GET /graphs", s.handleListGraphs)
+	route("DELETE /graphs/{name}", s.handleDeleteGraph)
+	route("GET /graphs/{name}/stats", s.handleStats)
+	route("GET /graphs/{name}/neighbors", s.handleNeighbors)
+	route("GET /graphs/{name}/analyze/{algo}", s.handleAnalyze)
+	route("POST /db/{table}/insert", s.handleMutate("insert"))
+	route("POST /db/{table}/delete", s.handleMutate("delete"))
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drops every session, stopping live maintenance. Lock order:
+// dbMu before sessMu (the only place both are held; no path nests them
+// the other way).
+func (s *Server) Close() {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for name, sess := range s.sessions {
+		if sess.live != nil {
+			sess.live.Close()
+		}
+		delete(s.sessions, name)
+	}
+}
+
+// closeLive stops a live graph's maintenance under dbMu: Close cancels
+// change-log subscriptions, and relstore's subscriber list is mutated
+// without internal locking — the same dbMu that serializes mutations
+// (and thus notify walks) must cover the cancellation, or the two race.
+func (s *Server) closeLive(lg *graphgen.LiveGraph) {
+	if lg == nil {
+		return
+	}
+	s.dbMu.Lock()
+	lg.Close()
+	s.dbMu.Unlock()
+}
+
+// --- JSON plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// validSessionName restricts names to a URL-inert charset: anything
+// else (".", "..", "%"-escapes, slashes, spaces) is rewritten or
+// rejected by net/http path cleaning before routing, which would make
+// the session unreachable and undeletable while still holding a
+// MaxSessions slot.
+func validSessionName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) lookup(name string) (*session, bool) {
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
+	sess, ok := s.sessions[name]
+	return sess, ok
+}
+
+// --- session lifecycle ---
+
+type createRequest struct {
+	Name     string `json:"name"`
+	Query    string `json:"query"`
+	Live     bool   `json:"live"`
+	MaxEdges int64  `json:"max_edges"`
+}
+
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if !validSessionName(req.Name) {
+		writeErr(w, http.StatusBadRequest, "session name must match [A-Za-z0-9_-]{1,64}")
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, "query must not be empty")
+		return
+	}
+	// Pre-check name and capacity before paying for the extraction (the
+	// authoritative re-check happens under sessMu after it); without
+	// this, a create storm at the session cap would keep the daemon
+	// extracting graphs only to discard them with 429.
+	s.sessMu.RLock()
+	_, exists := s.sessions[req.Name]
+	full := len(s.sessions) >= s.maxSessions
+	s.sessMu.RUnlock()
+	if exists {
+		writeErr(w, http.StatusConflict, "session %q already exists", req.Name)
+		return
+	}
+	if full {
+		writeErr(w, http.StatusTooManyRequests, "session limit (%d) reached; DELETE one first", s.maxSessions)
+		return
+	}
+	var opts []graphgen.Option
+	if req.MaxEdges > 0 {
+		opts = append(opts, graphgen.WithMaxEdges(req.MaxEdges))
+	}
+	sess := &session{id: s.nextID.Add(1), name: req.Name, query: req.Query, created: time.Now()}
+	s.dbMu.Lock()
+	var err error
+	if req.Live {
+		sess.live, err = s.engine.ExtractLive(req.Query, opts...)
+	} else {
+		sess.static, err = s.engine.Extract(req.Query, opts...)
+	}
+	s.dbMu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "extraction failed: %v", err)
+		return
+	}
+	s.sessMu.Lock()
+	if _, exists := s.sessions[req.Name]; exists {
+		s.sessMu.Unlock()
+		s.closeLive(sess.live)
+		writeErr(w, http.StatusConflict, "session %q already exists", req.Name)
+		return
+	}
+	if len(s.sessions) >= s.maxSessions {
+		s.sessMu.Unlock()
+		s.closeLive(sess.live)
+		writeErr(w, http.StatusTooManyRequests, "session limit (%d) reached; DELETE one first", s.maxSessions)
+		return
+	}
+	s.sessions[req.Name] = sess
+	s.sessMu.Unlock()
+	writeJSON(w, http.StatusCreated, s.statsPayload(sess))
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	type item struct {
+		Name    string    `json:"name"`
+		Live    bool      `json:"live"`
+		Query   string    `json:"query"`
+		Created time.Time `json:"created"`
+	}
+	s.sessMu.RLock()
+	out := make([]item, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, item{Name: sess.name, Live: sess.live != nil, Query: sess.query, Created: sess.created})
+	}
+	s.sessMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.sessMu.Lock()
+	sess, ok := s.sessions[name]
+	if ok {
+		delete(s.sessions, name)
+	}
+	s.sessMu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	s.closeLive(sess.live)
+	s.cache.dropSession(sess.id)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+// --- reads ---
+
+func (s *Server) statsPayload(sess *session) map[string]any {
+	out := map[string]any{
+		"name": sess.name,
+		"live": sess.live != nil,
+	}
+	if lg := sess.live; lg != nil {
+		ms := lg.MaintenanceStats()
+		sum := lg.Summarize()
+		out["vertices"] = sum.Vertices
+		out["logical_edges"] = sum.LogicalEdges
+		out["version"] = sum.Version
+		out["pending_deltas"] = sum.Pending
+		out["maintenance"] = map[string]int64{
+			"delta_rows":  ms.DeltaRows,
+			"transitions": ms.Transitions,
+			"flushes":     ms.Flushes,
+			"rebuilds":    ms.Rebuilds,
+		}
+		return out
+	}
+	g := sess.static
+	out["vertices"] = g.NumVertices()
+	out["virtual_nodes"] = g.NumVirtualNodes()
+	out["representation"] = fmt.Sprintf("%v", g.Representation())
+	out["rep_edges"] = g.RepEdges()
+	out["logical_edges"] = g.LogicalEdges()
+	out["mem_bytes"] = g.MemBytes()
+	out["version"] = uint64(0)
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsPayload(sess))
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	vs := r.URL.Query().Get("v")
+	if vs == "" {
+		writeErr(w, http.StatusBadRequest, "missing required query parameter v (vertex ID)")
+		return
+	}
+	v, err := strconv.ParseInt(vs, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "v must be an integer vertex ID: %v", err)
+		return
+	}
+	var it graphgen.Iterator
+	if sess.live != nil {
+		it = sess.live.Neighbors(v)
+	} else {
+		it = sess.static.Neighbors(v)
+	}
+	neighbors := []int64{}
+	for {
+		n, ok := it.Next()
+		if !ok {
+			break
+		}
+		neighbors = append(neighbors, n)
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": sess.name, "vertex": v, "degree": len(neighbors), "neighbors": neighbors,
+	})
+}
+
+// --- analytics with memoization ---
+
+// analyzeEnvelope is the response shape of /analyze: the cached part is
+// Result (raw marshaled bytes reused across hits); the envelope itself is
+// built per request so Cached and ComputeMS stay truthful.
+type analyzeEnvelope struct {
+	Session   string          `json:"session"`
+	Analysis  string          `json:"analysis"`
+	Params    string          `json:"params"`
+	Version   uint64          `json:"version"`
+	Cached    bool            `json:"cached"`
+	ComputeMS float64         `json:"compute_ms"`
+	Result    json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	name, algo := r.PathValue("name"), r.PathValue("algo")
+	sess, ok := s.lookup(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	params, err := parseParams(algo, r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Snapshot-version cache key: reading Version first flushes pending
+	// deltas, so a mutation made before this request always misses the
+	// old entries.
+	var version uint64
+	if sess.live != nil {
+		version = sess.live.Version()
+	}
+	key := cacheKey{sessionID: sess.id, version: version, analysis: algo, params: params.canonical}
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, analyzeEnvelope{
+			Session: name, Analysis: algo, Params: params.canonical,
+			Version: key.version, Cached: true, Result: body,
+		})
+		return
+	}
+	// Miss: compute on an isolated graph. Live sessions are snapshotted
+	// (atomically with the version, in case a mutation flushed between
+	// the Version read above and now); static graphs are immutable and
+	// shared.
+	g := sess.static
+	if sess.live != nil {
+		g, key.version = sess.live.SnapshotWithVersion()
+	}
+	start := time.Now()
+	result, err := computeAnalysis(g, algo, params)
+	elapsed := time.Since(start)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := json.Marshal(result)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "marshaling result: %v", err)
+		return
+	}
+	s.cache.put(key, body)
+	writeJSON(w, http.StatusOK, analyzeEnvelope{
+		Session: name, Analysis: algo, Params: params.canonical,
+		Version: key.version, Cached: false,
+		ComputeMS: float64(elapsed.Nanoseconds()) / 1e6, Result: body,
+	})
+}
+
+// analysisParams carries the typed parameters of one analysis plus their
+// canonical form (sorted key=value pairs with defaults filled in), which
+// is the params component of the cache key — so ?iters=20 and the
+// defaulted spelling share an entry.
+type analysisParams struct {
+	canonical string
+	iters     int
+	damping   float64
+	k         int
+	src       int64
+	srcAuto   bool
+}
+
+var errUnknownAnalysis = errors.New(`unknown analysis (valid: bfs, components, degree, pagerank, triangles)`)
+
+func parseParams(algo string, q map[string][]string) (analysisParams, error) {
+	p := analysisParams{iters: 20, damping: 0.85, k: 10, srcAuto: true}
+	get := func(name string) (string, bool) {
+		vs := q[name]
+		if len(vs) == 0 || vs[0] == "" {
+			return "", false
+		}
+		return vs[0], true
+	}
+	var err error
+	if v, ok := get("iters"); ok {
+		if p.iters, err = strconv.Atoi(v); err != nil || p.iters < 1 || p.iters > 10000 {
+			return p, fmt.Errorf("iters must be an integer in [1,10000], got %q", v)
+		}
+	}
+	if v, ok := get("damping"); ok {
+		if p.damping, err = strconv.ParseFloat(v, 64); err != nil || p.damping <= 0 || p.damping >= 1 {
+			return p, fmt.Errorf("damping must be a float in (0,1), got %q", v)
+		}
+	}
+	if v, ok := get("k"); ok {
+		if p.k, err = strconv.Atoi(v); err != nil || p.k < 1 || p.k > 10000 {
+			return p, fmt.Errorf("k must be an integer in [1,10000], got %q", v)
+		}
+	}
+	if v, ok := get("src"); ok {
+		if p.src, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return p, fmt.Errorf("src must be an integer vertex ID, got %q", v)
+		}
+		p.srcAuto = false
+	}
+	switch algo {
+	case "degree":
+		p.canonical = fmt.Sprintf("k=%d", p.k)
+	case "pagerank":
+		p.canonical = fmt.Sprintf("damping=%g&iters=%d&k=%d", p.damping, p.iters, p.k)
+	case "components", "triangles":
+		p.canonical = ""
+	case "bfs":
+		if p.srcAuto {
+			p.canonical = "src=auto"
+		} else {
+			p.canonical = fmt.Sprintf("src=%d", p.src)
+		}
+	default:
+		return p, errUnknownAnalysis
+	}
+	return p, nil
+}
+
+// computeAnalysis runs one analysis on a graph the caller guarantees is
+// not being mutated (a live snapshot or an immutable static session).
+func computeAnalysis(g *graphgen.Graph, algo string, p analysisParams) (any, error) {
+	switch algo {
+	case "degree":
+		deg := g.Degrees()
+		type entry struct {
+			ID     int64 `json:"id"`
+			Degree int   `json:"degree"`
+		}
+		top := make([]entry, 0, len(deg))
+		var sum int64
+		for id, d := range deg {
+			top = append(top, entry{ID: id, Degree: d})
+			sum += int64(d)
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Degree != top[j].Degree {
+				return top[i].Degree > top[j].Degree
+			}
+			return top[i].ID < top[j].ID
+		})
+		maxDeg, avg := 0, 0.0
+		if len(top) > 0 {
+			maxDeg = top[0].Degree
+			avg = float64(sum) / float64(len(top))
+		}
+		if len(top) > p.k {
+			top = top[:p.k]
+		}
+		return map[string]any{"vertices": len(deg), "max_degree": maxDeg, "avg_degree": avg, "top": top}, nil
+	case "pagerank":
+		pr := g.PageRank(p.iters, p.damping)
+		type entry struct {
+			ID   int64   `json:"id"`
+			Rank float64 `json:"rank"`
+			Name string  `json:"name,omitempty"`
+		}
+		top := make([]entry, 0, len(pr))
+		for id, rank := range pr {
+			top = append(top, entry{ID: id, Rank: rank})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Rank != top[j].Rank {
+				return top[i].Rank > top[j].Rank
+			}
+			return top[i].ID < top[j].ID
+		})
+		if len(top) > p.k {
+			top = top[:p.k]
+		}
+		for i := range top {
+			if name, ok := g.PropertyOf(top[i].ID, "Name"); ok {
+				top[i].Name = name
+			}
+		}
+		return map[string]any{"iters": p.iters, "damping": p.damping, "top": top}, nil
+	case "components":
+		labels, n := g.ConnectedComponents()
+		sizes := make(map[int]int)
+		for _, c := range labels {
+			sizes[c]++
+		}
+		largest := 0
+		for _, sz := range sizes {
+			if sz > largest {
+				largest = sz
+			}
+		}
+		return map[string]any{"components": n, "largest_size": largest, "vertices": len(labels)}, nil
+	case "bfs":
+		src := p.src
+		if p.srcAuto {
+			it := g.Vertices()
+			first, ok := it.Next()
+			if !ok {
+				return map[string]any{"src": nil, "visited": 0, "max_depth": 0}, nil
+			}
+			src = first
+		}
+		visited, depth := g.BFS(src)
+		return map[string]any{"src": src, "visited": visited, "max_depth": depth}, nil
+	case "triangles":
+		return map[string]any{"triangles": g.CountTriangles()}, nil
+	default:
+		return nil, errUnknownAnalysis
+	}
+}
+
+// --- mutations ---
+
+type mutateRequest struct {
+	Row  []any   `json:"row"`
+	Rows [][]any `json:"rows"`
+}
+
+// handleMutate returns the handler for one mutation op ("insert" or
+// "delete"), bound at route registration.
+func (s *Server) handleMutate(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { s.mutate(op, w, r) }
+}
+
+func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
+	tableName := r.PathValue("table")
+	table, err := s.engine.DB().Table(tableName)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	dec.UseNumber()
+	var req mutateRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	rows := req.Rows
+	if req.Row != nil {
+		rows = append(rows, req.Row)
+	}
+	if len(rows) == 0 {
+		writeErr(w, http.StatusBadRequest, `body must carry "row" (one tuple) or "rows" (a batch)`)
+		return
+	}
+	typed := make([][]graphgen.Value, len(rows))
+	for i, raw := range rows {
+		typed[i], err = convertRow(table, raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "row %d: %v", i, err)
+			return
+		}
+	}
+	// One lock both serializes table access and makes the change-log
+	// callbacks (live-graph delta computation) single-writer, as the
+	// incremental subsystem requires.
+	s.dbMu.Lock()
+	applied := 0
+	if op == "insert" {
+		for _, row := range typed {
+			if err = table.Insert(row...); err != nil {
+				break
+			}
+			applied++
+		}
+	} else {
+		for _, row := range typed {
+			found, derr := table.Delete(row...)
+			if derr != nil {
+				err = derr
+				break
+			}
+			if found {
+				applied++
+			}
+		}
+	}
+	s.dbMu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s: applied %d of %d rows, then: %v", op, applied, len(typed), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": table.Name, "op": op, "applied": applied, "requested": len(typed)})
+}
+
+// convertRow types a JSON row against the table schema: numbers for Int
+// columns (integral only), strings for String columns.
+func convertRow(t *graphgen.Table, raw []any) ([]graphgen.Value, error) {
+	if len(raw) != len(t.Cols) {
+		return nil, fmt.Errorf("arity %d, schema %s has %d columns", len(raw), t.Name, len(t.Cols))
+	}
+	out := make([]graphgen.Value, len(raw))
+	for i, v := range raw {
+		col := t.Cols[i]
+		switch col.Type {
+		case graphgen.Int:
+			num, ok := v.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("column %s is Int, got %T", col.Name, v)
+			}
+			n, err := num.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("column %s is Int, got %v", col.Name, num)
+			}
+			out[i] = graphgen.IntVal(n)
+		case graphgen.String:
+			str, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("column %s is String, got %T", col.Name, v)
+			}
+			out[i] = graphgen.StrVal(str)
+		default:
+			return nil, fmt.Errorf("column %s has unsupported type", col.Name)
+		}
+	}
+	return out, nil
+}
+
+// --- health and metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	uptime, _ := s.metrics.snapshot()
+	s.sessMu.RLock()
+	n := len(s.sessions)
+	s.sessMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "uptime_s": uptime.Seconds(), "sessions": n,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	uptime, routes := s.metrics.snapshot()
+	s.sessMu.RLock()
+	n := len(s.sessions)
+	s.sessMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": uptime.Seconds(),
+		"sessions": n,
+		"requests": routes,
+		"cache":    s.cache.stats(),
+	})
+}

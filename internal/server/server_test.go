@@ -1,0 +1,548 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"graphgen"
+	"graphgen/internal/datagen"
+)
+
+// newTestServer builds a server over a small DBLP-like database and
+// returns it with its httptest front end.
+func newTestServer(t testing.TB, nAuthors, nPubs int) (*Server, *httptest.Server) {
+	t.Helper()
+	db := datagen.DBLPLike(7, nAuthors, nPubs)
+	engine := graphgen.NewEngine(db)
+	s := New(engine, Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// doJSON performs a request and decodes the JSON response.
+func doJSON(t testing.TB, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func createSession(t testing.TB, ts *httptest.Server, name string, live bool) {
+	t.Helper()
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": name, "query": datagen.QueryCoauthors, "live": live,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create %s: status %d, body %v", name, code, body)
+	}
+}
+
+func TestStaticSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, 200, 150)
+	createSession(t, ts, "co", false)
+
+	code, stats := doJSON(t, "GET", ts.URL+"/graphs/co/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d: %v", code, stats)
+	}
+	if stats["live"] != false || stats["vertices"].(float64) <= 0 {
+		t.Fatalf("unexpected stats: %v", stats)
+	}
+	if stats["version"].(float64) != 0 {
+		t.Fatalf("static session version = %v, want 0", stats["version"])
+	}
+
+	code, list := doJSON(t, "GET", ts.URL+"/graphs", nil)
+	if code != http.StatusOK || len(list["sessions"].([]any)) != 1 {
+		t.Fatalf("list: status %d, %v", code, list)
+	}
+
+	for _, algo := range []string{"degree", "pagerank", "components", "bfs", "triangles"} {
+		code, res := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/"+algo, nil)
+		if code != http.StatusOK {
+			t.Fatalf("analyze %s: status %d: %v", algo, code, res)
+		}
+		if res["cached"] != false {
+			t.Fatalf("analyze %s first run reported cached", algo)
+		}
+		code, res = doJSON(t, "GET", ts.URL+"/graphs/co/analyze/"+algo, nil)
+		if code != http.StatusOK || res["cached"] != true {
+			t.Fatalf("analyze %s second run not cached: status %d, %v", algo, code, res)
+		}
+	}
+
+	code, _ = doJSON(t, "DELETE", ts.URL+"/graphs/co", nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/graphs/co/stats", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("stats after delete: status %d, want 404", code)
+	}
+}
+
+func TestNeighborsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 100, 80)
+	createSession(t, ts, "co", false)
+	code, res := doJSON(t, "GET", ts.URL+"/graphs/co/neighbors?v=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("neighbors: status %d: %v", code, res)
+	}
+	if int(res["degree"].(float64)) != len(res["neighbors"].([]any)) {
+		t.Fatalf("degree/neighbors mismatch: %v", res)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/graphs/co/neighbors", nil); code != http.StatusBadRequest {
+		t.Fatalf("neighbors without v: status %d, want 400", code)
+	}
+}
+
+// TestLiveMutationInvalidatesCache is the cache-contract test: analytics
+// on an unchanged live snapshot hit the cache, a routed table mutation
+// advances the snapshot version, and the same request recomputes.
+func TestLiveMutationInvalidatesCache(t *testing.T) {
+	_, ts := newTestServer(t, 200, 150)
+	createSession(t, ts, "co", true)
+
+	_, first := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/components", nil)
+	if first["cached"] != false {
+		t.Fatal("first analyze reported cached")
+	}
+	_, second := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/components", nil)
+	if second["cached"] != true {
+		t.Fatal("second analyze not cached")
+	}
+	if first["version"] != second["version"] {
+		t.Fatalf("version moved without mutation: %v -> %v", first["version"], second["version"])
+	}
+
+	// Route a mutation through the daemon: the live session must follow
+	// and the cached result must be invalidated (new snapshot version).
+	code, res := doJSON(t, "POST", ts.URL+"/db/AuthorPub/insert", map[string]any{
+		"row": []any{1, 999999},
+	})
+	if code != http.StatusOK || res["applied"].(float64) != 1 {
+		t.Fatalf("insert: status %d, %v", code, res)
+	}
+	_, third := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/components", nil)
+	if third["cached"] != false {
+		t.Fatal("analyze after mutation served a stale cached result")
+	}
+	if third["version"] == second["version"] {
+		t.Fatalf("snapshot version did not advance after mutation: %v", third["version"])
+	}
+
+	// Deleting the inserted tuple flushes again: version advances again.
+	code, res = doJSON(t, "POST", ts.URL+"/db/AuthorPub/delete", map[string]any{
+		"row": []any{1, 999999},
+	})
+	if code != http.StatusOK || res["applied"].(float64) != 1 {
+		t.Fatalf("delete: status %d, %v", code, res)
+	}
+	_, fourth := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/components", nil)
+	if fourth["cached"] != false || fourth["version"] == third["version"] {
+		t.Fatalf("delete did not invalidate: %v vs %v", fourth, third)
+	}
+}
+
+func TestBatchInsertAndDeleteCounts(t *testing.T) {
+	_, ts := newTestServer(t, 50, 40)
+	code, res := doJSON(t, "POST", ts.URL+"/db/AuthorPub/insert", map[string]any{
+		"rows": []any{[]any{1, 777777}, []any{2, 777777}},
+	})
+	if code != http.StatusOK || res["applied"].(float64) != 2 {
+		t.Fatalf("batch insert: status %d, %v", code, res)
+	}
+	// Deleting one present and one absent row reports applied=1.
+	code, res = doJSON(t, "POST", ts.URL+"/db/AuthorPub/delete", map[string]any{
+		"rows": []any{[]any{1, 777777}, []any{1, 888888}},
+	})
+	if code != http.StatusOK || res["applied"].(float64) != 1 || res["requested"].(float64) != 2 {
+		t.Fatalf("batch delete: status %d, %v", code, res)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t, 50, 40)
+	createSession(t, ts, "co", false)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"bad JSON", "POST", "/graphs", nil, http.StatusBadRequest},
+		{"empty name", "POST", "/graphs", map[string]any{"query": "x"}, http.StatusBadRequest},
+		{"dotdot name", "POST", "/graphs", map[string]any{"name": "..", "query": datagen.QueryCoauthors}, http.StatusBadRequest},
+		{"percent name", "POST", "/graphs", map[string]any{"name": "a%2Fb", "query": datagen.QueryCoauthors}, http.StatusBadRequest},
+		{"empty query", "POST", "/graphs", map[string]any{"name": "q"}, http.StatusBadRequest},
+		{"bad query", "POST", "/graphs", map[string]any{"name": "q", "query": "Nodes("}, http.StatusBadRequest},
+		{"duplicate session", "POST", "/graphs", map[string]any{"name": "co", "query": datagen.QueryCoauthors}, http.StatusConflict},
+		{"unknown session stats", "GET", "/graphs/nope/stats", nil, http.StatusNotFound},
+		{"unknown session analyze", "GET", "/graphs/nope/analyze/pagerank", nil, http.StatusNotFound},
+		{"unknown analysis", "GET", "/graphs/co/analyze/eigenvector", nil, http.StatusBadRequest},
+		{"bad iters", "GET", "/graphs/co/analyze/pagerank?iters=0", nil, http.StatusBadRequest},
+		{"bad damping", "GET", "/graphs/co/analyze/pagerank?damping=2", nil, http.StatusBadRequest},
+		{"bad k", "GET", "/graphs/co/analyze/degree?k=-1", nil, http.StatusBadRequest},
+		{"bad src", "GET", "/graphs/co/analyze/bfs?src=abc", nil, http.StatusBadRequest},
+		{"unknown table", "POST", "/db/NoSuch/insert", map[string]any{"row": []any{1}}, http.StatusNotFound},
+		{"bad arity", "POST", "/db/AuthorPub/insert", map[string]any{"row": []any{1}}, http.StatusBadRequest},
+		{"wrong type", "POST", "/db/AuthorPub/insert", map[string]any{"row": []any{"x", 2}}, http.StatusBadRequest},
+		{"no rows", "POST", "/db/AuthorPub/insert", map[string]any{}, http.StatusBadRequest},
+		{"delete unknown session", "DELETE", "/graphs/nope", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			if tc.name == "bad JSON" {
+				resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte("{")))
+				if err != nil {
+					t.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				code = resp.StatusCode
+			} else {
+				code, _ = doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+			}
+			if code != tc.want {
+				t.Fatalf("status %d, want %d", code, tc.want)
+			}
+		})
+	}
+}
+
+func TestParamCanonicalizationSharesCacheEntries(t *testing.T) {
+	_, ts := newTestServer(t, 80, 60)
+	createSession(t, ts, "co", false)
+	_, first := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/pagerank?iters=20&damping=0.85&k=10", nil)
+	if first["cached"] != false {
+		t.Fatal("first request reported cached")
+	}
+	// Default spelling must hit the explicit spelling's entry.
+	_, second := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/pagerank", nil)
+	if second["cached"] != true {
+		t.Fatalf("defaulted params missed the canonical entry: %v", second["params"])
+	}
+	// Different params are a different entry.
+	_, third := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/pagerank?iters=5", nil)
+	if third["cached"] != false {
+		t.Fatal("different params served the wrong cache entry")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, 50, 40)
+	createSession(t, ts, "co", false)
+	code, health := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if code != http.StatusOK || health["status"] != "ok" || health["sessions"].(float64) != 1 {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	doJSON(t, "GET", ts.URL+"/graphs/co/analyze/components", nil)
+	doJSON(t, "GET", ts.URL+"/graphs/co/analyze/components", nil)
+	code, m := doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	cache := m["cache"].(map[string]any)
+	if cache["hits"].(float64) < 1 || cache["misses"].(float64) < 1 {
+		t.Fatalf("cache counters not tracked: %v", cache)
+	}
+	reqs := m["requests"].(map[string]any)
+	analyze, ok := reqs["GET /graphs/{name}/analyze/{algo}"].(map[string]any)
+	if !ok || analyze["count"].(float64) < 2 {
+		t.Fatalf("per-route metrics missing: %v", reqs)
+	}
+}
+
+// TestConcurrentMixedLoad is the acceptance load test: >= 8 concurrent
+// clients mix cached analytics reads, neighbor lookups, stats, and
+// single-tuple mutations against one live session. Run under -race, it
+// verifies the daemon's full locking story end to end.
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, ts := newTestServer(t, 300, 250)
+	createSession(t, ts, "co", true)
+
+	const clients = 12
+	const opsPerClient = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*opsPerClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < opsPerClient; i++ {
+				var (
+					code int
+					err  error
+				)
+				switch rng.Intn(6) {
+				case 0: // single-tuple insert, live graph follows
+					code, err = postJSON(ts.URL+"/db/AuthorPub/insert",
+						map[string]any{"row": []any{rng.Intn(300) + 1, 900000 + rng.Intn(50)}})
+				case 1: // single-tuple delete (row may be absent: still 200)
+					code, err = postJSON(ts.URL+"/db/AuthorPub/delete",
+						map[string]any{"row": []any{rng.Intn(300) + 1, 900000 + rng.Intn(50)}})
+				case 2:
+					code, err = getStatus(ts.URL + "/graphs/co/stats")
+				case 3:
+					code, err = getStatus(fmt.Sprintf("%s/graphs/co/neighbors?v=%d", ts.URL, rng.Intn(300)+1))
+				case 4:
+					code, err = getStatus(ts.URL + "/graphs/co/analyze/components")
+				case 5:
+					code, err = getStatus(ts.URL + "/graphs/co/analyze/degree?k=5")
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("client %d op %d: status %d", c, i, code)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The session must still be serving a sane graph after the storm.
+	code, stats := doJSON(t, "GET", ts.URL+"/graphs/co/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("final stats: %d", code)
+	}
+	if stats["vertices"].(float64) <= 0 {
+		t.Fatalf("live graph lost its vertices: %v", stats)
+	}
+}
+
+func postJSON(url string, body any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func getStatus(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// TestLiveEqualsFreshExtractionAfterServedMutations checks end-to-end
+// equivalence through the HTTP surface: after a sequence of routed
+// mutations, the live session's logical edge count equals a fresh static
+// extraction over the same database.
+func TestLiveEqualsFreshExtractionAfterServedMutations(t *testing.T) {
+	s, ts := newTestServer(t, 120, 100)
+	createSession(t, ts, "live", true)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 40; i++ {
+		row := []any{rng.Intn(120) + 1, 800000 + rng.Intn(30)}
+		path := "/db/AuthorPub/insert"
+		if rng.Intn(3) == 0 {
+			path = "/db/AuthorPub/delete"
+		}
+		if code, err := postJSON(ts.URL+path, map[string]any{"row": row}); err != nil || code != http.StatusOK {
+			t.Fatalf("mutation %d: code %d err %v", i, code, err)
+		}
+	}
+	_, liveStats := doJSON(t, "GET", ts.URL+"/graphs/live/stats", nil)
+	fresh, err := s.engine.Extract(datagen.QueryCoauthors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(liveStats["logical_edges"].(float64)), fresh.LogicalEdges(); got != want {
+		t.Fatalf("live logical edges %d != fresh extraction %d", got, want)
+	}
+}
+
+// TestCachedAnalyzeSpeedup asserts the acceptance criterion that cached
+// re-analysis of an unchanged snapshot is at least 10x faster than the
+// first computation. PageRank on the mid-size graph takes milliseconds;
+// a hit is an LRU lookup plus a JSON write.
+func TestCachedAnalyzeSpeedup(t *testing.T) {
+	_, ts := newTestServer(t, 2000, 1600)
+	createSession(t, ts, "co", false)
+
+	url := ts.URL + "/graphs/co/analyze/pagerank?iters=40"
+	start := time.Now()
+	code, first := doJSON(t, "GET", url, nil)
+	firstDur := time.Since(start)
+	if code != http.StatusOK || first["cached"] != false {
+		t.Fatalf("first: %d %v", code, first["cached"])
+	}
+
+	const reps = 20
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		code, res := doJSON(t, "GET", url, nil)
+		if code != http.StatusOK || res["cached"] != true {
+			t.Fatalf("rep %d: status %d cached %v", i, code, res["cached"])
+		}
+	}
+	cachedDur := time.Since(start) / reps
+	if cachedDur == 0 {
+		cachedDur = time.Nanosecond
+	}
+	ratio := float64(firstDur) / float64(cachedDur)
+	t.Logf("first %v vs cached %v: %.1fx", firstDur, cachedDur, ratio)
+	if ratio < 10 {
+		t.Fatalf("cached re-analysis only %.1fx faster than first computation, want >= 10x", ratio)
+	}
+}
+
+// TestConcurrentDeleteVsMutation races live-session teardown (whose
+// subscription cancel mutates the relstore subscriber list) against
+// routed table mutations (which walk that list in notify): both must be
+// serialized on the server's table mutex. Run under -race.
+func TestConcurrentDeleteVsMutation(t *testing.T) {
+	_, ts := newTestServer(t, 100, 80)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			row := map[string]any{"row": []any{i%100 + 1, 910000 + i%20}}
+			if code, err := postJSON(ts.URL+"/db/AuthorPub/insert", row); err != nil || code != http.StatusOK {
+				t.Errorf("insert: code %d err %v", code, err)
+				return
+			}
+			postJSON(ts.URL+"/db/AuthorPub/delete", row)
+		}
+	}()
+	for round := 0; round < 10; round++ {
+		name := fmt.Sprintf("s%d", round)
+		createSession(t, ts, name, true)
+		doJSON(t, "GET", ts.URL+"/graphs/"+name+"/analyze/components", nil)
+		if code, _ := doJSON(t, "DELETE", ts.URL+"/graphs/"+name, nil); code != http.StatusOK {
+			t.Fatalf("delete round %d: %d", round, code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRecreatedSessionDoesNotInheritCache: deleting a session and
+// re-creating one under the same name (with a different query) must not
+// serve the old instance's cached analytics — the cache key carries a
+// per-instance nonce, so name+version collisions across instances are
+// impossible even for results cached by handlers still in flight during
+// the delete.
+func TestRecreatedSessionDoesNotInheritCache(t *testing.T) {
+	_, ts := newTestServer(t, 100, 80)
+	createSession(t, ts, "g", false)
+	_, first := doJSON(t, "GET", ts.URL+"/graphs/g/analyze/components", nil)
+	if first["cached"] != false {
+		t.Fatal("first analyze reported cached")
+	}
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/graphs/g", nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	// Same name, different graph shape: a single-author query.
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name":  "g",
+		"query": "Nodes(ID, Name) :- Author(ID, Name).\nEdges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("re-create: %d %v", code, body)
+	}
+	_, res := doJSON(t, "GET", ts.URL+"/graphs/g/analyze/components", nil)
+	if res["cached"] != false {
+		t.Fatal("re-created session served the deleted session's cached result")
+	}
+}
+
+// TestSessionCap: creates beyond MaxSessions are refused with 429 —
+// before the extraction runs, so a create storm at the cap cannot
+// saturate the engine.
+func TestSessionCap(t *testing.T) {
+	db := datagen.DBLPLike(7, 60, 50)
+	engine := graphgen.NewEngine(db)
+	s := New(engine, Options{MaxSessions: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	createSession(t, ts, "one", false)
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "two", "query": datagen.QueryCoauthors,
+	})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("create past cap: status %d, %v", code, body)
+	}
+	// Freeing a slot makes room again.
+	doJSON(t, "DELETE", ts.URL+"/graphs/one", nil)
+	createSession(t, ts, "two", false)
+}
+
+func TestCacheEviction(t *testing.T) {
+	db := datagen.DBLPLike(7, 60, 50)
+	engine := graphgen.NewEngine(db)
+	s := New(engine, Options{CacheEntries: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	createSession(t, ts, "co", false)
+	// Three distinct entries through a 2-entry cache: the first must be
+	// evicted and recompute.
+	doJSON(t, "GET", ts.URL+"/graphs/co/analyze/bfs?src=1", nil)
+	doJSON(t, "GET", ts.URL+"/graphs/co/analyze/bfs?src=2", nil)
+	doJSON(t, "GET", ts.URL+"/graphs/co/analyze/bfs?src=3", nil)
+	_, res := doJSON(t, "GET", ts.URL+"/graphs/co/analyze/bfs?src=1", nil)
+	if res["cached"] != false {
+		t.Fatal("evicted entry served as cached")
+	}
+	st := s.cache.stats()
+	if st.Evictions < 1 || st.Entries > 2 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+}

@@ -1,0 +1,155 @@
+package suggest
+
+import (
+	"strings"
+	"testing"
+
+	"graphgen/internal/relstore"
+)
+
+func mustTable(t *testing.T, db *relstore.DB, name string, cols ...relstore.Column) *relstore.Table {
+	t.Helper()
+	tbl, err := db.Create(name, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func intCol(name string) relstore.Column { return relstore.Column{Name: name, Type: relstore.Int} }
+func strCol(name string) relstore.Column {
+	return relstore.Column{Name: name, Type: relstore.String}
+}
+
+// TestProposeSkipsMalformedSchemas drives the detector branches that
+// reject tables which cannot anchor a graph: empty tables, non-integer
+// key columns, non-unique first columns, and membership columns whose
+// values do not live inside any entity table.
+func TestProposeSkipsMalformedSchemas(t *testing.T) {
+	db := relstore.NewDB()
+	// Zero-column table: no entity candidate.
+	mustTable(t, db, "Empty")
+	// String-keyed table: first column not Int.
+	s := mustTable(t, db, "StrKey", strCol("k"), intCol("v"))
+	s.Insert(relstore.StrVal("a"), relstore.IntVal(1))
+	// Non-unique first column: not an entity.
+	d := mustTable(t, db, "Dups", intCol("id"), strCol("name"))
+	for i := 0; i < 4; i++ {
+		d.Insert(relstore.IntVal(1), relstore.StrVal("same"))
+	}
+	// Membership-shaped table whose entity column references nothing.
+	m := mustTable(t, db, "Orphan", intCol("eid"), intCol("gid"))
+	m.Insert(relstore.IntVal(500), relstore.IntVal(1))
+	m.Insert(relstore.IntVal(501), relstore.IntVal(1))
+
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 0 {
+		t.Fatalf("malformed schema produced %d proposals: %+v", len(props), props)
+	}
+}
+
+// TestProposeEntityWithoutNameColumn pins the Nodes(ID) statement shape
+// for entity tables that have no string property column.
+func TestProposeEntityWithoutNameColumn(t *testing.T) {
+	db := relstore.NewDB()
+	e := mustTable(t, db, "Item", intCol("id"), intCol("weight"))
+	for i := 1; i <= 10; i++ {
+		e.Insert(relstore.IntVal(int64(i)), relstore.IntVal(int64(i*10)))
+	}
+	// iid repeats (so ItemGroup is not itself mistaken for an entity
+	// table) and gid repeats (so the co-membership graph has edges).
+	m := mustTable(t, db, "ItemGroup", intCol("iid"), intCol("gid"))
+	for i := 0; i < 20; i++ {
+		m.Insert(relstore.IntVal(int64(i%10+1)), relstore.IntVal(int64(i%3+1)))
+	}
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) == 0 {
+		t.Fatal("no proposals for a valid co-membership schema")
+	}
+	for _, p := range props {
+		if !strings.Contains(p.Query, "Nodes(ID) :- Item(ID, _).") {
+			t.Fatalf("nameless entity should render Nodes(ID) with a wildcard: %q", p.Query)
+		}
+	}
+}
+
+// TestProposeNoBipartiteAcrossDisjointDomains: two valid membership
+// tables whose grouping columns never overlap must not produce a
+// bipartite proposal.
+func TestProposeNoBipartiteAcrossDisjointDomains(t *testing.T) {
+	db := relstore.NewDB()
+	a := mustTable(t, db, "A", intCol("id"), strCol("name"))
+	b := mustTable(t, db, "B", intCol("id"), strCol("name"))
+	am := mustTable(t, db, "AM", intCol("aid"), intCol("gid"))
+	bm := mustTable(t, db, "BM", intCol("bid"), intCol("gid"))
+	for i := 1; i <= 8; i++ {
+		a.Insert(relstore.IntVal(int64(i)), relstore.StrVal("a"))
+		b.Insert(relstore.IntVal(int64(i)), relstore.StrVal("b"))
+		am.Insert(relstore.IntVal(int64(i)), relstore.IntVal(int64(i%2+100)))
+		bm.Insert(relstore.IntVal(int64(i)), relstore.IntVal(int64(i%2+900)))
+	}
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range props {
+		if p.Kind == "bipartite" {
+			t.Fatalf("bipartite proposal across disjoint group domains: %+v", p)
+		}
+	}
+}
+
+// TestProposeNoCoMembershipWithoutRepetition: a membership table whose
+// grouping column is unique yields an edgeless co-membership graph, so
+// no proposal must be emitted for it.
+func TestProposeNoCoMembershipWithoutRepetition(t *testing.T) {
+	db := relstore.NewDB()
+	e := mustTable(t, db, "Person", intCol("id"), strCol("name"))
+	m := mustTable(t, db, "Badge", intCol("pid"), intCol("bid"))
+	for i := 1; i <= 8; i++ {
+		e.Insert(relstore.IntVal(int64(i)), relstore.StrVal("p"))
+		m.Insert(relstore.IntVal(int64(i)), relstore.IntVal(int64(i))) // unique group
+	}
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 0 {
+		t.Fatalf("unique grouping column produced proposals: %+v", props)
+	}
+}
+
+// TestProposeSelfPairSkipped: one membership table detected twice (both
+// integer columns reference entities) must not pair with itself into a
+// bipartite proposal of one table.
+func TestProposeSelfPairSkipped(t *testing.T) {
+	db := relstore.NewDB()
+	e1 := mustTable(t, db, "Left", intCol("id"), strCol("name"))
+	e2 := mustTable(t, db, "Right", intCol("id"), strCol("name"))
+	// link's columns reference Left and Right respectively and both
+	// repeat, so (link, lid, rid) and (link, rid, lid) are both
+	// memberships over the same physical table.
+	link := mustTable(t, db, "Link", intCol("lid"), intCol("rid"))
+	for i := 1; i <= 8; i++ {
+		e1.Insert(relstore.IntVal(int64(i)), relstore.StrVal("l"))
+		e2.Insert(relstore.IntVal(int64(i)), relstore.StrVal("r"))
+	}
+	for i := 0; i < 8; i++ {
+		link.Insert(relstore.IntVal(int64(i%4+1)), relstore.IntVal(int64(i%2+1)))
+	}
+	props, err := Propose(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range props {
+		if p.Kind == "bipartite" && len(p.EntityTables) == 2 && p.EntityTables[0] == p.EntityTables[1] {
+			t.Fatalf("self-paired bipartite proposal: %+v", p)
+		}
+	}
+}

@@ -105,8 +105,30 @@ func (g *LiveGraph) Pending() int { return g.live.Pending() }
 // representation conversion (Graph.As) and the analysis entry points.
 func (g *LiveGraph) Snapshot() *Graph { return WrapCore(g.live.Snapshot()) }
 
+// Version applies pending deltas and returns the snapshot version: a
+// counter that increases every time the served graph state changes (the
+// initial build, each batched delta application, every rebuild). Two reads
+// returning the same version observed the same graph, which makes the
+// version the cache-invalidation half of a memoized-analytics key — see
+// internal/server, which keys its result cache by
+// (session, version, analysis, params).
+func (g *LiveGraph) Version() uint64 { return g.live.Version() }
+
+// SnapshotWithVersion is Snapshot plus the version the copy was taken at,
+// read atomically, so derived results can be keyed to exactly the state
+// they were computed from even while table mutations race the read.
+func (g *LiveGraph) SnapshotWithVersion() (*Graph, uint64) {
+	c, ver := g.live.SnapshotVersioned()
+	return WrapCore(c), ver
+}
+
 // MaintenanceStats returns counters of the maintenance activity.
 func (g *LiveGraph) MaintenanceStats() incremental.Stats { return g.live.Stats() }
+
+// Summarize applies pending deltas and returns vertices, logical edges,
+// version, and pending-delta count as one consistent view (separate
+// accessor calls could tear under concurrent mutations).
+func (g *LiveGraph) Summarize() incremental.Summary { return g.live.Summarize() }
 
 // Close stops maintenance: the graph stays readable but frozen.
 func (g *LiveGraph) Close() { g.live.Close() }
