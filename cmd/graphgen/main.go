@@ -6,6 +6,7 @@
 // Usage examples:
 //
 //	graphgen -dataset dblp -query-file coauthors.dl -analyze pagerank
+//	graphgen -dataset dblp -program reach.dl -analyze components
 //	graphgen -dataset tpch -rep bitmap -out graph.el
 //	graphgen -validate 'Nodes(A):-R(A). Edges(A,B):-R(A,X),R(B,X).'
 //
@@ -47,17 +48,18 @@ func main() {
 // config is the parsed, validated flag set — the flag-to-pipeline
 // dispatch input, separated from flag.Parse so tests can drive it.
 type config struct {
-	dataset   string
-	queryFile string
-	rep       graphgen.Representation
-	analyze   string
-	out       string
-	outJSON   string
-	validate  string
-	seed      int64
-	suggest   bool
-	csvTables string
-	workers   int
+	dataset     string
+	queryFile   string
+	programFile string
+	rep         graphgen.Representation
+	analyze     string
+	out         string
+	outJSON     string
+	validate    string
+	seed        int64
+	suggest     bool
+	csvTables   string
+	workers     int
 }
 
 // errParseReported marks a flag.Parse failure: the FlagSet has already
@@ -95,6 +97,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.SetOutput(stderr)
 	dataset := fs.String("dataset", "dblp", "built-in dataset: "+strings.Join(datagen.BuiltinDatasets, ", "))
 	queryFile := fs.String("query-file", "", "file containing the extraction query (default: the dataset's canonical query)")
+	programFile := fs.String("program", "", "file containing a multi-rule Datalog program (recursion, negation, comparisons); mutually exclusive with -query-file")
 	rep := fs.String("rep", "cdup", "target representation: "+strings.Join(validReps, ", "))
 	analyze := fs.String("analyze", "", "analysis to run: "+strings.Join(validAnalyses, ", "))
 	out := fs.String("out", "", "write the expanded edge list to this file")
@@ -111,20 +114,24 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		return config{}, fmt.Errorf("%w: %v", errParseReported, err)
 	}
 	cfg := config{
-		dataset:   *dataset,
-		queryFile: *queryFile,
-		analyze:   *analyze,
-		out:       *out,
-		outJSON:   *outJSON,
-		validate:  *validate,
-		seed:      *seed,
-		suggest:   *suggestFlag,
-		csvTables: *csvTables,
-		workers:   *workers,
+		dataset:     *dataset,
+		queryFile:   *queryFile,
+		programFile: *programFile,
+		analyze:     *analyze,
+		out:         *out,
+		outJSON:     *outJSON,
+		validate:    *validate,
+		seed:        *seed,
+		suggest:     *suggestFlag,
+		csvTables:   *csvTables,
+		workers:     *workers,
 	}
 	var err error
 	if cfg.rep, err = parseRep(*rep); err != nil {
 		return config{}, err
+	}
+	if cfg.programFile != "" && cfg.queryFile != "" {
+		return config{}, usagef("-program and -query-file are mutually exclusive (pass one of them)")
 	}
 	if cfg.analyze != "" && !slices.Contains(validAnalyses, strings.ToLower(cfg.analyze)) {
 		return config{}, usagef("unknown -analyze %q (valid: %s)", cfg.analyze, strings.Join(validAnalyses, ", "))
@@ -178,14 +185,26 @@ func dispatch(cfg config, stdout io.Writer) error {
 		}
 		return nil
 	}
-	if query == "" {
-		return usagef("no query: pass -query-file or use a built-in -dataset")
-	}
-
 	engine := graphgen.NewEngine(db, graphgen.WithParallelism(cfg.workers))
-	g, err := engine.Extract(query)
-	if err != nil {
-		return err
+	var g *graphgen.Graph
+	if cfg.programFile != "" {
+		data, err := os.ReadFile(cfg.programFile)
+		if err != nil {
+			return err
+		}
+		if g, err = engine.ExtractProgram(string(data)); err != nil {
+			return err
+		}
+		es, _ := g.ProgramStats()
+		fmt.Fprintf(stdout, "program: %d strata, %d semi-naive iterations, %d derived tuples in %d temp tables\n",
+			es.Strata, es.Iterations, es.DerivedTuples, es.TempTables)
+	} else {
+		if query == "" {
+			return usagef("no query: pass -query-file, -program, or use a built-in -dataset")
+		}
+		if g, err = engine.Extract(query); err != nil {
+			return err
+		}
 	}
 	st := g.ExtractionStats()
 	fmt.Fprintf(stdout, "extracted %s graph: %d vertices, %d virtual nodes, %d representation edges\n",

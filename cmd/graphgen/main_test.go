@@ -24,6 +24,24 @@ func TestRunDispatch(t *testing.T) {
 	if err := os.WriteFile(badQueryFile, []byte("Nodes("), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Recursive reachability over the course-link graph (courses linked
+	// when a student took both), then instructor pairs connected through
+	// reachable courses — 3 strata once the Edges body (it carries a
+	// comparison) desugars into its own derived predicate.
+	programFile := filepath.Join(tmp, "reach.dl")
+	if err := os.WriteFile(programFile, []byte(
+		"Link(C, D) :- TookCourse(S, C), TookCourse(S, D), C != D.\n"+
+			"CReach(C, D) :- Link(C, D).\n"+
+			"CReach(C, E) :- CReach(C, D), Link(D, E).\n"+
+			"Nodes(ID, Name) :- Instructor(ID, Name).\n"+
+			"Edges(A, B) :- TaughtCourse(A, C), CReach(C, D), TaughtCourse(B, D), A != B.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unstratifiedFile := filepath.Join(tmp, "cycle.dl")
+	if err := os.WriteFile(unstratifiedFile, []byte(
+		"P(A) :- Student(A, _), !P(A).\nNodes(A) :- Student(A, _).\nEdges(A, B) :- P(A), P(B).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name       string
@@ -79,6 +97,36 @@ func TestRunDispatch(t *testing.T) {
 			args:       []string{"-dataset", "univ", "-suggest"},
 			wantCode:   0,
 			wantStdout: "co-membership",
+		},
+		{
+			name:       "recursive program extraction",
+			args:       []string{"-dataset", "univ", "-program", programFile, "-analyze", "components"},
+			wantCode:   0,
+			wantStdout: "program: 3 strata",
+		},
+		{
+			name:       "program with analysis output",
+			args:       []string{"-dataset", "univ", "-program", programFile},
+			wantCode:   0,
+			wantStdout: "derived tuples",
+		},
+		{
+			name:       "program and query-file together exit 2",
+			args:       []string{"-dataset", "univ", "-program", programFile, "-query-file", queryFile},
+			wantCode:   2,
+			wantStderr: "mutually exclusive",
+		},
+		{
+			name:       "missing program file exits 1",
+			args:       []string{"-dataset", "univ", "-program", filepath.Join(tmp, "nope.dl")},
+			wantCode:   1,
+			wantStderr: "no such file",
+		},
+		{
+			name:       "unstratifiable program exits 1",
+			args:       []string{"-dataset", "univ", "-program", unstratifiedFile},
+			wantCode:   1,
+			wantStderr: "negation cycle",
 		},
 		{
 			name:       "unknown dataset exits 2 and lists options",

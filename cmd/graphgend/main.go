@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheEntries := fs.Int("cache-entries", 256, "analytics cache: max entries")
 	cacheMB := fs.Int64("cache-mb", 64, "analytics cache: max total result megabytes")
 	maxSessions := fs.Int("max-sessions", 64, "max concurrent graph sessions")
+	maxDerived := fs.Int64("max-derived", 10_000_000, "Datalog program sessions: max derived tuples per evaluation (-1 disables)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -73,9 +74,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	engine := graphgen.NewEngine(db, graphgen.WithParallelism(*workers))
 	srv := server.New(engine, server.Options{
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheMB << 20,
-		MaxSessions:  *maxSessions,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheMB << 20,
+		MaxSessions:      *maxSessions,
+		MaxDerivedTuples: *maxDerived,
 	})
 	defer srv.Close()
 

@@ -35,9 +35,23 @@ curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
 curl -sf "$BASE/graphs/coauth/neighbors?v=1" | head -c 200; echo
 curl -sf -X POST "$BASE/db/AuthorPub/delete" -d '{"row": [2, 99991]}'; echo
 
+echo "== recursive program session: transitive co-authorship reachability =="
+curl -sf -X POST "$BASE/graphs" -d '{
+  "name": "reach",
+  "program": "Coauthor(A, B) :- AuthorPub(A, P), AuthorPub(B, P), A != B, A < 150, B < 150. Reach(A, B) :- Coauthor(A, B). Reach(A, C) :- Reach(A, B), Coauthor(B, C). Nodes(ID, Name) :- Author(ID, Name). Edges(A, B) :- Reach(A, B)."
+}' | head -c 500; echo
+curl -sf "$BASE/graphs/reach/stats" | grep -o '"derived_tuples": [0-9]*'
+curl -sf "$BASE/graphs/reach/analyze/components" | head -c 300; echo
+# program sessions are static-only: live=true is rejected with a clear error
+curl -s -X POST "$BASE/graphs" -d '{"name": "reach-live", "live": true,
+  "program": "Nodes(A) :- Author(A, _). Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P)."}' \
+  | grep -o '"error": "[^"]*"'
+
 echo "== metrics =="
 curl -sf "$BASE/metrics" | head -c 600; echo
+curl -sf "$BASE/metrics" | grep -o '"programs": [0-9]*'
 
 echo "== clean up =="
 curl -sf -X DELETE "$BASE/graphs/coauth"; echo
+curl -sf -X DELETE "$BASE/graphs/reach"; echo
 echo "quickstart OK"

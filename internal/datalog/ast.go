@@ -38,16 +38,42 @@ func (t Term) String() string {
 	case TermInt:
 		return fmt.Sprintf("%d", t.Int)
 	default:
-		return fmt.Sprintf("%q", t.Str)
+		return Quote(t.Str)
 	}
 }
 
+// Quote renders s as a single-quoted Datalog string literal using only the
+// escape sequences the lexer understands (\\ \' \n \t), so String output
+// always re-parses.
+func Quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\'':
+			sb.WriteString(`\'`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
 // Atom is a predicate applied to terms: Pred(t1, ..., tn). In rule bodies
-// Pred names a database table; in heads it is Nodes or Edges.
+// Pred names a database table or a derived (IDB) predicate; in heads it is
+// Nodes, Edges, or a derived predicate being defined.
 type Atom struct {
 	Pred  string
 	Terms []Term
 	Line  int
+	Col   int
 }
 
 // String renders the atom in source form.
@@ -86,18 +112,88 @@ func (a Atom) HasVar(name string) bool {
 	return false
 }
 
-// Rule is head :- body.
-type Rule struct {
-	Head Atom
-	Body []Atom
-	Line int
+// CompOp is a comparison operator usable as a rule-body literal.
+type CompOp uint8
+
+// Comparison operators.
+const (
+	OpEQ CompOp = iota // =
+	OpNE               // !=
+	OpLT               // <
+	OpLE               // <=
+	OpGT               // >
+	OpGE               // >=
+)
+
+// String renders the operator in source form.
+func (op CompOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "!="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	default:
+		return ">="
+	}
 }
 
-// String renders the rule in source form.
+// Comparison is a body literal of the form `t1 op t2` (e.g. A != B, X < 5).
+// Operands are variables or constants; wildcards are rejected at parse.
+type Comparison struct {
+	Op   CompOp
+	L, R Term
+	Line int
+	Col  int
+}
+
+// String renders the comparison in source form.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// Vars returns the distinct variable names of the comparison, in order.
+func (c Comparison) Vars() []string {
+	var out []string
+	if c.L.Kind == TermVar {
+		out = append(out, c.L.Var)
+	}
+	if c.R.Kind == TermVar && (c.L.Kind != TermVar || c.R.Var != c.L.Var) {
+		out = append(out, c.R.Var)
+	}
+	return out
+}
+
+// Rule is head :- body. Body holds the positive atoms; Negated the atoms
+// prefixed with `!` (or `not`); Comps the comparison literals. The legacy
+// non-recursive fragment (Parse) only populates Body.
+type Rule struct {
+	Head    Atom
+	Body    []Atom
+	Negated []Atom
+	Comps   []Comparison
+	Line    int
+	Col     int
+}
+
+// String renders the rule in source form (positive atoms, then negated
+// atoms, then comparisons — a reordering of the source that is logically
+// identical, since body literals are a conjunction).
 func (r Rule) String() string {
-	parts := make([]string, len(r.Body))
-	for i, a := range r.Body {
-		parts[i] = a.String()
+	parts := make([]string, 0, len(r.Body)+len(r.Negated)+len(r.Comps))
+	for _, a := range r.Body {
+		parts = append(parts, a.String())
+	}
+	for _, a := range r.Negated {
+		parts = append(parts, "!"+a.String())
+	}
+	for _, c := range r.Comps {
+		parts = append(parts, c.String())
 	}
 	return fmt.Sprintf("%s :- %s.", r.Head.String(), strings.Join(parts, ", "))
 }
@@ -118,6 +214,43 @@ func (p *Program) String() string {
 		sb.WriteByte('\n')
 	}
 	for _, r := range p.Edges {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ProgramSet is a parsed multi-rule Datalog program (ParseProgram): derived
+// (IDB) predicate rules — possibly recursive, with stratified negation and
+// comparison literals — plus the Nodes/Edges extraction rules that feed the
+// graph extractor. Rules preserves source order across all three groups.
+type ProgramSet struct {
+	Rules []Rule
+	IDB   []Rule
+	Nodes []Rule
+	Edges []Rule
+}
+
+// IDBPreds returns the lowercased names of the derived predicates (rule
+// heads other than Nodes/Edges), each once, in first-definition order.
+func (p *ProgramSet) IDBPreds() []string {
+	var out []string
+	seen := make(map[string]struct{})
+	for _, r := range p.IDB {
+		name := strings.ToLower(r.Head.Pred)
+		if _, dup := seen[name]; dup {
+			continue
+		}
+		seen[name] = struct{}{}
+		out = append(out, name)
+	}
+	return out
+}
+
+// String renders the program set in source order.
+func (p *ProgramSet) String() string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
 		sb.WriteString(r.String())
 		sb.WriteByte('\n')
 	}

@@ -1,14 +1,27 @@
-// Package datalog implements GraphGen's graph-extraction DSL (Section 3.2):
-// a non-recursive Datalog fragment with the special head predicates Nodes
-// and Edges, e.g.
+// Package datalog implements GraphGen's graph-extraction DSL (Section 3.2).
+// Two entry points parse two fragments of the language:
+//
+// Parse accepts the original non-recursive fragment — only the special head
+// predicates Nodes and Edges, positive conjunctive bodies:
 //
 //	Nodes(ID, Name) :- Author(ID, Name).
 //	Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
 //
-// Body atoms reference database tables positionally; terms are variables,
-// the wildcard _, or constants (integers and quoted strings) which act as
-// selection predicates. String literals accept either quote style and the
-// escape sequences \', \", \\, \n, and \t.
+// ParseProgram accepts full multi-rule programs: derived (IDB) predicates,
+// recursion, negated atoms (`!P(X)` or `not P(X)`), and comparison literals
+// (`<`, `<=`, `>`, `>=`, `=`, `!=`), stratified by Stratify and evaluated
+// bottom-up by internal/datalogeval:
+//
+//	Coauthor(A, B) :- AuthorPub(A, P), AuthorPub(B, P), A != B.
+//	Reach(A, B)    :- Coauthor(A, B).
+//	Reach(A, C)    :- Reach(A, B), Coauthor(B, C).
+//	Nodes(ID, N)   :- Author(ID, N).
+//	Edges(A, B)    :- Reach(A, B).
+//
+// Body atoms reference database tables or derived predicates positionally;
+// terms are variables, the wildcard _, or constants (integers and quoted
+// strings) which act as selection predicates. String literals accept either
+// quote style and the escape sequences \', \", \\, \n, and \t.
 package datalog
 
 import (
@@ -30,6 +43,8 @@ const (
 	tokDot
 	tokImplies // :-
 	tokUnderscore
+	tokNot // '!' (negation prefix; '!=' lexes as tokCmp)
+	tokCmp // comparison operator: < <= > >= = !=  ('==' normalizes to '=')
 	tokEOF
 )
 
@@ -148,6 +163,33 @@ func (l *lexer) next() (token, error) {
 		}
 		l.advance()
 		return token{tokImplies, ":-", line, col}, nil
+	case r == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokCmp, "!=", line, col}, nil
+		}
+		return token{tokNot, "!", line, col}, nil
+	case r == '=':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+		}
+		return token{tokCmp, "=", line, col}, nil
+	case r == '<':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokCmp, "<=", line, col}, nil
+		}
+		return token{tokCmp, "<", line, col}, nil
+	case r == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokCmp, ">=", line, col}, nil
+		}
+		return token{tokCmp, ">", line, col}, nil
 	case r == '\'' || r == '"':
 		quote := r
 		l.advance()

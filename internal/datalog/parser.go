@@ -6,17 +6,80 @@ import (
 	"strings"
 )
 
-// Parse parses an extraction program. It enforces the structural rules of
-// Section 3.2: at least one Nodes statement, at least one Edges statement,
-// head predicates restricted to Nodes/Edges, Nodes heads with >= 1 term and
-// Edges heads with >= 2 terms (the ID positions), and non-recursive bodies
-// (no Nodes/Edges predicates in bodies).
+// Parse parses an extraction program in the legacy non-recursive fragment.
+// It enforces the structural rules of Section 3.2: at least one Nodes
+// statement, at least one Edges statement, head predicates restricted to
+// Nodes/Edges, Nodes heads with >= 1 term and Edges heads with >= 2 terms
+// (the ID positions), and non-recursive positive bodies. Programs that need
+// derived predicates, recursion, negation, or comparisons must go through
+// ParseProgram and the program evaluator instead.
 func Parse(src string) (*Program, error) {
+	// The IDB and negation/comparison checks run before the structural
+	// Nodes/Edges-presence checks so a misspelled head (`Node(A) :- ...`)
+	// is reported as the bad head it is, at its own position, rather than
+	// as a missing-Nodes-statement program error.
+	ps, err := parseProgramSet(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps.IDB) > 0 {
+		r := ps.IDB[0]
+		return nil, &SyntaxError{Line: r.Head.Line, Col: r.Head.Col,
+			Msg: fmt.Sprintf("head predicate must be Nodes or Edges, got %q (derived predicates need program evaluation — ExtractProgram)", r.Head.Pred)}
+	}
+	for _, r := range ps.Rules {
+		if len(r.Negated) > 0 {
+			a := r.Negated[0]
+			return nil, &SyntaxError{Line: a.Line, Col: a.Col,
+				Msg: "negated atoms need program evaluation (ExtractProgram)"}
+		}
+		if len(r.Comps) > 0 {
+			c := r.Comps[0]
+			return nil, &SyntaxError{Line: c.Line, Col: c.Col,
+				Msg: "comparison literals need program evaluation (ExtractProgram)"}
+		}
+	}
+	if err := checkPresence(ps); err != nil {
+		return nil, err
+	}
+	return &Program{Nodes: ps.Nodes, Edges: ps.Edges}, nil
+}
+
+// ParseProgram parses a multi-rule Datalog program: any number of derived
+// (IDB) predicate rules plus the Nodes/Edges extraction statements. Bodies
+// may contain negated atoms and comparison literals; semantic validation
+// (safety, arity consistency, stratifiability) is Stratify's job.
+func ParseProgram(src string) (*ProgramSet, error) {
+	ps, err := parseProgramSet(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPresence(ps); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// checkPresence enforces the structural minimum of an extraction program:
+// at least one Nodes and one Edges statement.
+func checkPresence(ps *ProgramSet) error {
+	if len(ps.Nodes) == 0 {
+		return &SyntaxError{Line: 1, Col: 1, Msg: "program needs at least one Nodes statement"}
+	}
+	if len(ps.Edges) == 0 {
+		return &SyntaxError{Line: 1, Col: 1, Msg: "program needs at least one Edges statement"}
+	}
+	return nil
+}
+
+// parseProgramSet parses rules without the Nodes/Edges-presence checks, so
+// the two entry points can order their diagnostics differently.
+func parseProgramSet(src string) (*ProgramSet, error) {
 	p := &parser{lex: newLexer(src)}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	prog := &Program{}
+	ps := &ProgramSet{}
 	for p.tok.kind != tokEOF {
 		rule, err := p.parseRule()
 		if err != nil {
@@ -25,51 +88,81 @@ func Parse(src string) (*Program, error) {
 		switch strings.ToLower(rule.Head.Pred) {
 		case "nodes":
 			if len(rule.Head.Terms) < 1 {
-				return nil, p.errAt(rule.Line, "Nodes head needs at least an ID term")
+				return nil, p.errAt(rule.Head, "Nodes head needs at least an ID term")
 			}
 			if rule.Head.Terms[0].Kind != TermVar {
-				return nil, p.errAt(rule.Line, "the first Nodes term must be the ID variable")
+				return nil, p.errAt(rule.Head, "the first Nodes term must be the ID variable")
 			}
-			prog.Nodes = append(prog.Nodes, rule)
+			ps.Nodes = append(ps.Nodes, rule)
 		case "edges":
 			if len(rule.Head.Terms) < 2 {
-				return nil, p.errAt(rule.Line, "Edges head needs two ID terms")
+				return nil, p.errAt(rule.Head, "Edges head needs two ID terms")
 			}
 			if rule.Head.Terms[0].Kind != TermVar || rule.Head.Terms[1].Kind != TermVar {
-				return nil, p.errAt(rule.Line, "the first two Edges terms must be ID variables")
+				return nil, p.errAt(rule.Head, "the first two Edges terms must be ID variables")
 			}
-			prog.Edges = append(prog.Edges, rule)
+			ps.Edges = append(ps.Edges, rule)
 		default:
-			return nil, p.errAt(rule.Line, fmt.Sprintf("head predicate must be Nodes or Edges, got %q", rule.Head.Pred))
+			if strings.HasPrefix(strings.ToLower(rule.Head.Pred), reservedAuxPrefix) {
+				return nil, p.errAt(rule.Head, fmt.Sprintf("predicate names starting with %q are reserved for desugared extraction bodies", reservedAuxPrefix))
+			}
+			for _, t := range rule.Head.Terms {
+				if t.Kind == TermWildcard {
+					return nil, p.errAt(rule.Head, fmt.Sprintf("wildcard _ cannot appear in the head of %q", rule.Head.Pred))
+				}
+			}
+			ps.IDB = append(ps.IDB, rule)
 		}
-		for _, a := range rule.Body {
+		for _, a := range append(append([]Atom{}, rule.Body...), rule.Negated...) {
 			lower := strings.ToLower(a.Pred)
 			if lower == "nodes" || lower == "edges" {
-				return nil, p.errAt(a.Line, "recursive rules are not supported (Nodes/Edges cannot appear in bodies)")
+				return nil, p.errAt(a, "Nodes/Edges cannot appear in rule bodies; define a derived predicate instead")
+			}
+			if strings.HasPrefix(lower, reservedAuxPrefix) {
+				return nil, p.errAt(a, fmt.Sprintf("predicate names starting with %q are reserved for desugared extraction bodies", reservedAuxPrefix))
 			}
 		}
+		ps.Rules = append(ps.Rules, rule)
 	}
-	if len(prog.Nodes) == 0 {
-		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "program needs at least one Nodes statement"}
-	}
-	if len(prog.Edges) == 0 {
-		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "program needs at least one Edges statement"}
-	}
-	return prog, nil
+	return ps, nil
 }
 
+// reservedAuxPrefix prefixes the synthetic predicates the program
+// evaluator introduces when it desugars Nodes/Edges bodies; user programs
+// may not define predicates under it (their derivations would silently
+// merge with the synthetic ones).
+const reservedAuxPrefix = "__extract_body_"
+
 type parser struct {
-	lex *lexer
-	tok token
+	lex   *lexer
+	tok   token
+	ahead *token // one-token lookahead buffer, filled by peek
 }
 
 func (p *parser) advance() error {
+	if p.ahead != nil {
+		p.tok = *p.ahead
+		p.ahead = nil
+		return nil
+	}
 	t, err := p.lex.next()
 	if err != nil {
 		return err
 	}
 	p.tok = t
 	return nil
+}
+
+// peek returns the token after the current one without consuming it.
+func (p *parser) peek() (token, error) {
+	if p.ahead == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.ahead = &t
+	}
+	return *p.ahead, nil
 }
 
 func (p *parser) expect(kind tokenKind, what string) (token, error) {
@@ -84,8 +177,8 @@ func (p *parser) expect(kind tokenKind, what string) (token, error) {
 	return t, nil
 }
 
-func (p *parser) errAt(line int, msg string) error {
-	return &SyntaxError{Line: line, Col: 1, Msg: msg}
+func (p *parser) errAt(a Atom, msg string) error {
+	return &SyntaxError{Line: a.Line, Col: a.Col, Msg: msg}
 }
 
 func (p *parser) parseRule() (Rule, error) {
@@ -96,13 +189,11 @@ func (p *parser) parseRule() (Rule, error) {
 	if _, err := p.expect(tokImplies, "':-'"); err != nil {
 		return Rule{}, err
 	}
-	var body []Atom
+	rule := Rule{Head: head, Line: head.Line, Col: head.Col}
 	for {
-		a, err := p.parseAtom()
-		if err != nil {
+		if err := p.parseBodyLiteral(&rule); err != nil {
 			return Rule{}, err
 		}
-		body = append(body, a)
 		if p.tok.kind == tokComma {
 			if err := p.advance(); err != nil {
 				return Rule{}, err
@@ -114,7 +205,106 @@ func (p *parser) parseRule() (Rule, error) {
 	if _, err := p.expect(tokDot, "'.'"); err != nil {
 		return Rule{}, err
 	}
-	return Rule{Head: head, Body: body, Line: head.Line}, nil
+	return rule, nil
+}
+
+// parseBodyLiteral parses one body literal — a positive atom, a negated
+// atom (`!P(...)` or `not P(...)`), or a comparison (`X < Y`) — and appends
+// it to the rule.
+func (p *parser) parseBodyLiteral(rule *Rule) error {
+	switch {
+	case p.tok.kind == tokNot:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		rule.Negated = append(rule.Negated, a)
+		return nil
+	case p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "not"):
+		// `not` is a negation keyword only when followed by a predicate
+		// name; `not(...)` stays an atom named "not", and `not < 3` a
+		// comparison on a variable named "not".
+		nxt, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if nxt.kind == tokIdent {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			a, err := p.parseAtom()
+			if err != nil {
+				return err
+			}
+			rule.Negated = append(rule.Negated, a)
+			return nil
+		}
+	}
+	if p.tok.kind == tokIdent {
+		nxt, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if nxt.kind == tokLParen {
+			a, err := p.parseAtom()
+			if err != nil {
+				return err
+			}
+			rule.Body = append(rule.Body, a)
+			return nil
+		}
+	}
+	// Comparison literal: term op term.
+	line, col := p.tok.line, p.tok.col
+	l, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokCmp {
+		return &SyntaxError{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected '(' (atom) or a comparison operator, got %s", p.tok)}
+	}
+	op, err := compOpOf(p.tok.text)
+	if err != nil {
+		return &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: err.Error()}
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	for _, t := range []Term{l, r} {
+		if t.Kind == TermWildcard {
+			return &SyntaxError{Line: line, Col: col,
+				Msg: "comparison operands must be variables or constants, not the wildcard _"}
+		}
+	}
+	rule.Comps = append(rule.Comps, Comparison{Op: op, L: l, R: r, Line: line, Col: col})
+	return nil
+}
+
+func compOpOf(text string) (CompOp, error) {
+	switch text {
+	case "=":
+		return OpEQ, nil
+	case "!=":
+		return OpNE, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLE, nil
+	case ">":
+		return OpGT, nil
+	case ">=":
+		return OpGE, nil
+	default:
+		return OpEQ, fmt.Errorf("unknown comparison operator %q", text)
+	}
 }
 
 func (p *parser) parseAtom() (Atom, error) {
@@ -125,7 +315,7 @@ func (p *parser) parseAtom() (Atom, error) {
 	if _, err := p.expect(tokLParen, "'('"); err != nil {
 		return Atom{}, err
 	}
-	atom := Atom{Pred: name.text, Line: name.line}
+	atom := Atom{Pred: name.text, Line: name.line, Col: name.col}
 	for {
 		term, err := p.parseTerm()
 		if err != nil {

@@ -1,0 +1,210 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file validates multi-rule programs and computes their stratification:
+// the partition of the derived (IDB) predicates into an ordered list of
+// strata such that every positive dependency points to the same or an
+// earlier stratum and every negative dependency points to a strictly
+// earlier one. A stratum is one strongly connected component of the
+// dependency graph, so the predicates inside it are mutually recursive and
+// are evaluated together by one semi-naive fixpoint loop.
+//
+// Validation diagnostics (each a distinct message, tested individually):
+//   - unbound head variable: a head variable not bound by a positive atom
+//   - unsafe negation: a negated atom's variable not bound positively
+//   - unbound comparison variable: a comparison over an unbound variable
+//   - predicate arity mismatch: a derived predicate used at two arities
+//   - negation cycle: recursion through a negated dependency
+
+// Strata is a validated stratification of a program's derived predicates.
+type Strata struct {
+	// Levels lists the derived predicates in evaluation order; the
+	// predicates of one level are mutually recursive (or a singleton).
+	// Names are lowercased.
+	Levels [][]string
+	// LevelOf maps each lowercased derived predicate to its level index.
+	LevelOf map[string]int
+}
+
+// Stratify validates the program's rules (safety, arity consistency) and
+// returns the stratification of its derived predicates. Predicates not
+// defined by any rule are treated as base (EDB) tables.
+func Stratify(ps *ProgramSet) (*Strata, error) {
+	idb := make(map[string]int) // lowercased name -> head arity
+	for _, r := range ps.IDB {
+		name := strings.ToLower(r.Head.Pred)
+		if prev, ok := idb[name]; ok && prev != len(r.Head.Terms) {
+			return nil, fmt.Errorf("datalog: line %d col %d: predicate arity mismatch: %q has arity %d here but arity %d elsewhere",
+				r.Head.Line, r.Head.Col, r.Head.Pred, len(r.Head.Terms), prev)
+		}
+		idb[name] = len(r.Head.Terms)
+	}
+	for _, r := range ps.Rules {
+		if err := checkRule(r, idb); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dependency edges among derived predicates: head -> body predicate,
+	// flagged negative when the body atom is negated.
+	preds := ps.IDBPreds()
+	adj := make(map[string]map[string]bool, len(preds)) // head -> dep -> negative?
+	for _, name := range preds {
+		adj[name] = make(map[string]bool)
+	}
+	for _, r := range ps.IDB {
+		head := strings.ToLower(r.Head.Pred)
+		for _, a := range r.Body {
+			if dep := strings.ToLower(a.Pred); isIDB(dep, idb) {
+				if _, ok := adj[head][dep]; !ok {
+					adj[head][dep] = false
+				}
+			}
+		}
+		for _, a := range r.Negated {
+			if dep := strings.ToLower(a.Pred); isIDB(dep, idb) {
+				adj[head][dep] = true
+			}
+		}
+	}
+
+	comps := sccs(preds, adj)
+	levels := make([][]string, 0, len(comps))
+	levelOf := make(map[string]int, len(preds))
+	for _, comp := range comps {
+		inComp := make(map[string]struct{}, len(comp))
+		for _, p := range comp {
+			inComp[p] = struct{}{}
+		}
+		// A negative edge inside one SCC is recursion through negation.
+		for _, p := range comp {
+			for dep, neg := range adj[p] {
+				if _, same := inComp[dep]; same && neg {
+					return nil, fmt.Errorf("datalog: negation cycle: predicate %q depends negatively on %q inside a recursive cycle; stratified negation forbids this", p, dep)
+				}
+			}
+		}
+		sort.Strings(comp)
+		for _, p := range comp {
+			levelOf[p] = len(levels)
+		}
+		levels = append(levels, comp)
+	}
+	return &Strata{Levels: levels, LevelOf: levelOf}, nil
+}
+
+func isIDB(name string, idb map[string]int) bool {
+	_, ok := idb[name]
+	return ok
+}
+
+// checkRule enforces rule safety and body-atom arity consistency against
+// the derived-predicate arities.
+func checkRule(r Rule, idb map[string]int) error {
+	bound := make(map[string]struct{})
+	for _, a := range r.Body {
+		for _, v := range a.Vars() {
+			bound[v] = struct{}{}
+		}
+	}
+	for _, t := range r.Head.Terms {
+		if t.Kind != TermVar {
+			continue
+		}
+		if _, ok := bound[t.Var]; !ok {
+			return fmt.Errorf("datalog: line %d col %d: unbound head variable %q in rule for %q: every head variable must appear in a positive body atom",
+				r.Head.Line, r.Head.Col, t.Var, r.Head.Pred)
+		}
+	}
+	for _, a := range r.Negated {
+		for _, v := range a.Vars() {
+			if _, ok := bound[v]; !ok {
+				return fmt.Errorf("datalog: line %d col %d: unsafe negation: variable %q in negated atom %s is not bound by a positive body atom",
+					a.Line, a.Col, v, a)
+			}
+		}
+	}
+	for _, c := range r.Comps {
+		for _, v := range c.Vars() {
+			if _, ok := bound[v]; !ok {
+				return fmt.Errorf("datalog: line %d col %d: comparison %s uses unbound variable %q: comparison variables must appear in a positive body atom",
+					c.Line, c.Col, c, v)
+			}
+		}
+	}
+	for _, group := range [][]Atom{r.Body, r.Negated} {
+		for _, a := range group {
+			name := strings.ToLower(a.Pred)
+			if want, ok := idb[name]; ok && len(a.Terms) != want {
+				return fmt.Errorf("datalog: line %d col %d: predicate arity mismatch: %q used with arity %d but defined with arity %d",
+					a.Line, a.Col, a.Pred, len(a.Terms), want)
+			}
+		}
+	}
+	return nil
+}
+
+// sccs returns the strongly connected components of the dependency graph in
+// dependency-first order (every component's dependencies appear in earlier
+// components). Tarjan's algorithm emits components in reverse topological
+// order of the condensation, which is exactly evaluation order here because
+// edges point head -> dependency. Nodes are visited in sorted order so the
+// result is deterministic.
+func sccs(preds []string, adj map[string]map[string]bool) [][]string {
+	sorted := append([]string(nil), preds...)
+	sort.Strings(sorted)
+	index := make(map[string]int, len(sorted))
+	low := make(map[string]int, len(sorted))
+	onStack := make(map[string]bool, len(sorted))
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		deps := make([]string, 0, len(adj[v]))
+		for d := range adj[v] {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		for _, w := range deps {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range sorted {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}

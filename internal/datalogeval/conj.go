@@ -1,0 +1,415 @@
+package datalogeval
+
+import (
+	"fmt"
+
+	"graphgen/internal/datalog"
+	"graphgen/internal/parallel"
+	"graphgen/internal/relstore"
+)
+
+// This file evaluates one rule body: scan each positive atom (optionally
+// substituting the semi-naive delta for one occurrence), hash-join the
+// scans on their shared variables through the worker pool, filter with
+// comparison literals as soon as their variables are bound, and finish
+// with anti-joins for the negated atoms. The result keeps one column per
+// distinct body variable; insert projects it onto the head.
+
+// atomPattern is the compiled term pattern of one atom against a table
+// schema: constant selections, repeated-variable equality filters, and the
+// projection positions of the distinct variables (first occurrence each).
+// It is shared by positive-atom scans and negated-atom set builds so the
+// two matching semantics cannot diverge.
+type atomPattern struct {
+	preds      []patPred
+	equalities [][2]int
+	cols       []int    // table position of each distinct variable
+	names      []string // the variables, same order as cols
+}
+
+type patPred struct {
+	col int
+	val relstore.Value
+}
+
+func compilePattern(atom datalog.Atom, t *relstore.Table) (*atomPattern, error) {
+	if len(atom.Terms) > len(t.Cols) {
+		return nil, fmt.Errorf("datalogeval: line %d col %d: atom %s has %d terms but table %s has %d columns",
+			atom.Line, atom.Col, atom, len(atom.Terms), t.Name, len(t.Cols))
+	}
+	p := &atomPattern{}
+	firstPos := make(map[string]int)
+	for i, term := range atom.Terms {
+		switch term.Kind {
+		case datalog.TermInt:
+			p.preds = append(p.preds, patPred{i, relstore.IntVal(term.Int)})
+		case datalog.TermString:
+			p.preds = append(p.preds, patPred{i, relstore.StrVal(term.Str)})
+		case datalog.TermWildcard:
+			// ignored position
+		case datalog.TermVar:
+			if j, dup := firstPos[term.Var]; dup {
+				p.equalities = append(p.equalities, [2]int{j, i})
+				continue
+			}
+			firstPos[term.Var] = i
+			p.cols = append(p.cols, i)
+			p.names = append(p.names, term.Var)
+		}
+	}
+	return p, nil
+}
+
+// matches reports whether a table row satisfies the pattern's constant
+// selections and repeated-variable equalities.
+func (p *atomPattern) matches(row []relstore.Value) bool {
+	for _, pr := range p.preds {
+		if !row[pr.col].Equal(pr.val) {
+			return false
+		}
+	}
+	for _, eq := range p.equalities {
+		if !row[eq[0]].Equal(row[eq[1]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// key extracts the pattern's variable positions from a matching row.
+func (p *atomPattern) key(row []relstore.Value) string {
+	vals := make([]relstore.Value, len(p.cols))
+	for k, c := range p.cols {
+		vals[k] = row[c]
+	}
+	return rowKey(vals)
+}
+
+// negPattern is one negated atom compiled against its (complete) table:
+// the membership set of matching rows keyed on the atom's variable
+// positions. Stratification guarantees the table no longer changes while
+// the stratum referencing it evaluates, so the set is built once per
+// stratum and reused across every semi-naive iteration.
+type negPattern struct {
+	atom   datalog.Atom
+	names  []string // distinct variables, key order
+	exists map[string]struct{}
+}
+
+func (ev *evaluator) compileNegation(neg datalog.Atom) (*negPattern, error) {
+	t, err := ev.db.Table(neg.Pred)
+	if err != nil {
+		return nil, err
+	}
+	p, err := compilePattern(neg, t)
+	if err != nil {
+		return nil, err
+	}
+	np := &negPattern{atom: neg, names: p.names, exists: make(map[string]struct{}, len(t.Rows))}
+	for _, row := range t.Rows {
+		if p.matches(row) {
+			np.exists[p.key(row)] = struct{}{}
+		}
+	}
+	return np, nil
+}
+
+// evalRuleBody evaluates the positive/comparison/negation body of a
+// compiled rule. deltaOcc >= 0 substitutes deltaRows for that
+// positive-atom occurrence (the semi-naive rewriting); -1 evaluates
+// against the full relations.
+func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]relstore.Value) (*relstore.Rel, error) {
+	rule := cr.rule
+	if len(rule.Body) == 0 {
+		return nil, fmt.Errorf("datalogeval: line %d col %d: rule for %q has no positive atoms", rule.Line, rule.Col, rule.Head.Pred)
+	}
+	workers := ev.opts.Workers
+	scan := func(i int) (*relstore.Rel, error) {
+		atom := rule.Body[i]
+		t, err := ev.db.Table(atom.Pred)
+		if err != nil {
+			return nil, err
+		}
+		rows := t.Rows
+		if i == deltaOcc {
+			rows = deltaRows
+		}
+		return atomRel(atom, t, rows, workers)
+	}
+
+	// Join order: start from the delta occurrence (it is the small side
+	// and every derivation must use it), otherwise the first atom; then
+	// repeatedly take an atom sharing a variable, falling back to a cross
+	// product only when no pending atom connects.
+	first := 0
+	if deltaOcc >= 0 {
+		first = deltaOcc
+	}
+	cur, err := scan(first)
+	if err != nil {
+		return nil, err
+	}
+	pending := make([]int, 0, len(rule.Body)-1)
+	for i := range rule.Body {
+		if i != first {
+			pending = append(pending, i)
+		}
+	}
+	compsLeft := append([]datalog.Comparison(nil), rule.Comps...)
+	if cur, compsLeft, err = applyReadyComps(cur, compsLeft, workers); err != nil {
+		return nil, err
+	}
+	for len(pending) > 0 {
+		picked := -1
+		var shared []string
+		for k, i := range pending {
+			if s := sharedVars(cur, rule.Body[i]); len(s) > 0 {
+				picked, shared = k, s
+				break
+			}
+		}
+		if picked < 0 {
+			picked = 0 // disconnected: cross product (shared stays empty)
+		}
+		rel, err := scan(pending[picked])
+		if err != nil {
+			return nil, err
+		}
+		if cur, err = relstore.MultiJoinWorkers(cur, rel, shared, workers); err != nil {
+			return nil, err
+		}
+		pending = append(pending[:picked], pending[picked+1:]...)
+		if cur, compsLeft, err = applyReadyComps(cur, compsLeft, workers); err != nil {
+			return nil, err
+		}
+		if err := ev.checkIntermediate(rule, cur); err != nil {
+			return nil, err
+		}
+	}
+	if len(compsLeft) > 0 {
+		c := compsLeft[0]
+		return nil, fmt.Errorf("datalogeval: line %d col %d: comparison %s over variables the body never binds", c.Line, c.Col, c)
+	}
+	for _, np := range cr.negs {
+		if cur, err = applyNegation(cur, np, workers); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// intermediateBudgetFactor scales MaxDerivedTuples into a bound on the
+// rows a single rule body may materialize mid-join. Intermediates
+// legitimately exceed the distinct output (duplicates before
+// projection/dedup), so the guard leaves headroom — but an exploding join
+// (cross products, skewed keys) must fail fast rather than exhaust memory,
+// which matters most for the serving daemon evaluating untrusted programs
+// while holding its database lock.
+const intermediateBudgetFactor = 16
+
+// checkIntermediate enforces the materialization budget on the rows a
+// rule body holds between joins (the derived-tuple budget itself is
+// enforced at insert time).
+func (ev *evaluator) checkIntermediate(rule datalog.Rule, cur *relstore.Rel) error {
+	max := ev.opts.MaxDerivedTuples
+	if max <= 0 {
+		return nil
+	}
+	if int64(len(cur.Rows)) > intermediateBudgetFactor*max {
+		return fmt.Errorf("%w: rule for %q materialized %d intermediate rows (budget %d x %d)",
+			ErrTooManyDerived, rule.Head.Pred, len(cur.Rows), intermediateBudgetFactor, max)
+	}
+	return nil
+}
+
+func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
+	var out []string
+	for _, v := range a.Vars() {
+		if _, ok := r.ColIndex(v); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// atomRel turns one positive atom over a row source into a relation:
+// constant terms select, repeated variables filter, variable positions
+// project under their variable names. The row loop fans out through the
+// worker pool with a chunk-ordered merge.
+func atomRel(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, workers int) (*relstore.Rel, error) {
+	p, err := compilePattern(atom, t)
+	if err != nil {
+		return nil, err
+	}
+	out := &relstore.Rel{Cols: p.names}
+	chunks := parallel.MapChunks(len(rows), workers, 0, func(lo, hi int) [][]relstore.Value {
+		var sel [][]relstore.Value
+		for _, row := range rows[lo:hi] {
+			if !p.matches(row) {
+				continue
+			}
+			proj := make([]relstore.Value, len(p.cols))
+			for k, c := range p.cols {
+				proj[k] = row[c]
+			}
+			sel = append(sel, proj)
+		}
+		return sel
+	})
+	out.Rows = mergeChunks(chunks)
+	return out, nil
+}
+
+// applyReadyComps filters the relation with every comparison whose
+// variables are all bound, returning the comparisons still waiting for a
+// join to bind their variables.
+func applyReadyComps(cur *relstore.Rel, comps []datalog.Comparison, workers int) (*relstore.Rel, []datalog.Comparison, error) {
+	var ready []datalog.Comparison
+	var waiting []datalog.Comparison
+	for _, c := range comps {
+		ok := true
+		for _, v := range c.Vars() {
+			if _, bound := cur.ColIndex(v); !bound {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, c)
+		} else {
+			waiting = append(waiting, c)
+		}
+	}
+	if len(ready) == 0 {
+		return cur, waiting, nil
+	}
+	type operand struct {
+		col int // -1: constant
+		val relstore.Value
+	}
+	type compiled struct {
+		op   datalog.CompOp
+		l, r operand
+	}
+	compile := func(t datalog.Term) (operand, error) {
+		switch t.Kind {
+		case datalog.TermVar:
+			j, _ := cur.ColIndex(t.Var)
+			return operand{col: j}, nil
+		case datalog.TermInt:
+			return operand{col: -1, val: relstore.IntVal(t.Int)}, nil
+		case datalog.TermString:
+			return operand{col: -1, val: relstore.StrVal(t.Str)}, nil
+		default:
+			return operand{}, fmt.Errorf("datalogeval: wildcard comparison operand")
+		}
+	}
+	cs := make([]compiled, len(ready))
+	for i, c := range ready {
+		l, err := compile(c.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := compile(c.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		cs[i] = compiled{op: c.Op, l: l, r: r}
+	}
+	eval := func(row []relstore.Value) bool {
+		for _, c := range cs {
+			l, r := c.l.val, c.r.val
+			if c.l.col >= 0 {
+				l = row[c.l.col]
+			}
+			if c.r.col >= 0 {
+				r = row[c.r.col]
+			}
+			if !holds(c.op, l.Compare(r)) {
+				return false
+			}
+		}
+		return true
+	}
+	chunks := parallel.MapChunks(len(cur.Rows), workers, 0, func(lo, hi int) [][]relstore.Value {
+		var sel [][]relstore.Value
+		for _, row := range cur.Rows[lo:hi] {
+			if eval(row) {
+				sel = append(sel, row)
+			}
+		}
+		return sel
+	})
+	return &relstore.Rel{Cols: cur.Cols, Rows: mergeChunks(chunks)}, waiting, nil
+}
+
+// holds interprets a comparison operator over a Compare result.
+func holds(op datalog.CompOp, cmp int) bool {
+	switch op {
+	case datalog.OpEQ:
+		return cmp == 0
+	case datalog.OpNE:
+		return cmp != 0
+	case datalog.OpLT:
+		return cmp < 0
+	case datalog.OpLE:
+		return cmp <= 0
+	case datalog.OpGT:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// applyNegation anti-joins the relation against a precompiled negated
+// atom: a row survives when no tuple of the negated predicate matches the
+// atom's pattern under the row's bindings.
+func applyNegation(cur *relstore.Rel, np *negPattern, workers int) (*relstore.Rel, error) {
+	curCols := make([]int, len(np.names))
+	for k, v := range np.names {
+		j, ok := cur.ColIndex(v)
+		if !ok {
+			return nil, fmt.Errorf("datalogeval: line %d col %d: unsafe negation: variable %q in %s is unbound", np.atom.Line, np.atom.Col, v, np.atom)
+		}
+		curCols[k] = j
+	}
+	if len(curCols) == 0 {
+		// Fully ground negated atom: it either kills every row or none.
+		if len(np.exists) > 0 {
+			return &relstore.Rel{Cols: cur.Cols}, nil
+		}
+		return cur, nil
+	}
+	chunks := parallel.MapChunks(len(cur.Rows), workers, 0, func(lo, hi int) [][]relstore.Value {
+		var sel [][]relstore.Value
+		key := make([]relstore.Value, len(curCols))
+		for _, row := range cur.Rows[lo:hi] {
+			for k, c := range curCols {
+				key[k] = row[c]
+			}
+			if _, hit := np.exists[rowKey(key)]; !hit {
+				sel = append(sel, row)
+			}
+		}
+		return sel
+	})
+	return &relstore.Rel{Cols: cur.Cols, Rows: mergeChunks(chunks)}, nil
+}
+
+func mergeChunks(chunks [][][]relstore.Value) [][]relstore.Value {
+	switch len(chunks) {
+	case 0:
+		return nil
+	case 1:
+		return chunks[0]
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([][]relstore.Value, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}

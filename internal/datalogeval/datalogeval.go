@@ -1,0 +1,526 @@
+// Package datalogeval is GraphGen's bottom-up evaluator for multi-rule
+// Datalog programs: derived (IDB) predicates, recursion, stratified
+// negation, and comparison literals, computed over the relstore substrate
+// and handed to the extraction planner.
+//
+// Evaluation proceeds stratum by stratum (datalog.Stratify orders the
+// mutually recursive predicate groups dependency-first). Each stratum runs
+// a semi-naive fixpoint loop: derived predicates materialize as temporary
+// relstore tables inside an overlay database (base tables attached by
+// reference, nothing copied), each table paired with a deduplicating tuple
+// set, and every iteration joins only the previous iteration's delta
+// against the full relations — so work is proportional to what is new, not
+// to what is known. Joins are hash joins on the bound positions, fanned out
+// through the shared worker pool (internal/parallel); negated atoms become
+// anti-joins against the already-complete tables of lower strata;
+// comparison literals are applied as filters as soon as their variables are
+// bound.
+//
+// The Nodes/Edges extraction statements are not evaluated here: Evaluate
+// returns the overlay database plus a legacy datalog.Program referencing
+// the materialized predicates, which the caller hands to internal/extract
+// unchanged — so condensed representations, deduplication, analytics, and
+// serving all work on recursive graphs for free. Extraction statements
+// whose bodies use negation or comparisons are desugared first: the body
+// moves into a synthetic derived predicate (one more stratum) and the
+// statement keeps a single positive atom the planner can handle.
+//
+// The overlay database and its temporary tables live exactly as long as
+// the caller needs the extraction: nothing registers with the base DB, so
+// dropping the Result frees every derived tuple.
+package datalogeval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graphgen/internal/datalog"
+	"graphgen/internal/relstore"
+)
+
+// Options tunes program evaluation.
+type Options struct {
+	// Workers bounds the join/filter parallelism of every iteration
+	// (<= 0 means GOMAXPROCS, 1 is the serial path). The evaluated
+	// relations are identical for every setting.
+	Workers int
+	// MaxDerivedTuples aborts evaluation once the total number of
+	// materialized derived tuples exceeds the budget; 0 disables.
+	MaxDerivedTuples int64
+	// Naive disables the semi-naive delta optimization and re-evaluates
+	// every rule against the full relations each iteration until
+	// fixpoint. It exists as the benchmark baseline; results are
+	// identical.
+	Naive bool
+}
+
+// Stats describes one program evaluation.
+type Stats struct {
+	// Strata is the number of evaluation strata (mutually recursive
+	// predicate groups, including any synthetic extraction-body
+	// predicates).
+	Strata int
+	// Iterations is the total number of fixpoint iterations across all
+	// strata (each stratum contributes at least its seeding round).
+	Iterations int
+	// DerivedTuples is the total number of distinct tuples materialized
+	// into temporary tables.
+	DerivedTuples int64
+	// TempTables is the number of temporary tables created.
+	TempTables int
+	Duration   time.Duration
+}
+
+// Result is an evaluated program: the overlay database holding base tables
+// (shared) plus materialized derived predicates (owned), and the
+// extraction statements rewritten to reference them.
+type Result struct {
+	DB      *relstore.DB
+	Program *datalog.Program
+	Stats   Stats
+}
+
+// ErrTooManyDerived marks an evaluation aborted by MaxDerivedTuples.
+var ErrTooManyDerived = fmt.Errorf("datalogeval: derived tuples exceed the configured budget")
+
+// Evaluate runs the program's derived-predicate rules to fixpoint and
+// returns the overlay database and the extraction statements to hand to
+// the extraction planner.
+func Evaluate(base *relstore.DB, ps *datalog.ProgramSet, opts Options) (*Result, error) {
+	start := time.Now()
+	// Validate the user-written rules first so diagnostics carry the
+	// user's predicate names, then desugar and re-stratify for evaluation
+	// order (desugaring cannot introduce new violations).
+	if _, err := datalog.Stratify(ps); err != nil {
+		return nil, err
+	}
+	ps = desugarExtraction(ps)
+	strata, err := datalog.Stratify(ps)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ps.IDBPreds() {
+		if _, err := base.Table(p); err == nil {
+			return nil, fmt.Errorf("datalogeval: derived predicate %q collides with a base table of the same name", p)
+		}
+	}
+
+	ov := relstore.NewDB()
+	for _, name := range base.TableNames() {
+		t, err := base.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := ov.Attach(t); err != nil {
+			return nil, err
+		}
+	}
+	ev := &evaluator{db: ov, opts: opts, sets: make(map[string]map[string]struct{})}
+	if err := ev.checkPredicates(ps); err != nil {
+		return nil, err
+	}
+	if err := ev.createTempTables(ps); err != nil {
+		return nil, err
+	}
+	ev.stats.Strata = len(strata.Levels)
+	for _, level := range strata.Levels {
+		if err := ev.evalStratum(ps, level); err != nil {
+			return nil, err
+		}
+	}
+	ev.stats.Duration = time.Since(start)
+	return &Result{
+		DB:      ov,
+		Program: &datalog.Program{Nodes: ps.Nodes, Edges: ps.Edges},
+		Stats:   ev.stats,
+	}, nil
+}
+
+type evaluator struct {
+	db   *relstore.DB
+	opts Options
+	// sets deduplicates each derived table's tuples (keyed by lowercased
+	// predicate name).
+	sets  map[string]map[string]struct{}
+	stats Stats
+}
+
+// desugarExtraction rewrites Nodes/Edges statements whose bodies use
+// negation or comparisons: the body becomes a synthetic derived predicate
+// over the statement's head variables and the statement keeps one positive
+// atom, which is all the extraction planner understands. Statements with
+// plain positive bodies pass through untouched (so chain planning and
+// condensation still apply to them).
+func desugarExtraction(ps *datalog.ProgramSet) *datalog.ProgramSet {
+	out := &datalog.ProgramSet{IDB: append([]datalog.Rule(nil), ps.IDB...)}
+	aux := 0
+	rewrite := func(r datalog.Rule) datalog.Rule {
+		if len(r.Negated) == 0 && len(r.Comps) == 0 {
+			return r
+		}
+		aux++
+		name := fmt.Sprintf("__extract_body_%d", aux)
+		var terms []datalog.Term
+		seen := make(map[string]struct{})
+		for _, t := range r.Head.Terms {
+			if t.Kind != datalog.TermVar {
+				continue
+			}
+			if _, dup := seen[t.Var]; dup {
+				continue
+			}
+			seen[t.Var] = struct{}{}
+			terms = append(terms, t)
+		}
+		auxHead := datalog.Atom{Pred: name, Terms: terms, Line: r.Line, Col: r.Col}
+		out.IDB = append(out.IDB, datalog.Rule{
+			Head: auxHead, Body: r.Body, Negated: r.Negated, Comps: r.Comps,
+			Line: r.Line, Col: r.Col,
+		})
+		return datalog.Rule{
+			Head: r.Head,
+			Body: []datalog.Atom{{Pred: name, Terms: terms, Line: r.Line, Col: r.Col}},
+			Line: r.Line, Col: r.Col,
+		}
+	}
+	for _, r := range ps.Nodes {
+		out.Nodes = append(out.Nodes, rewrite(r))
+	}
+	for _, r := range ps.Edges {
+		out.Edges = append(out.Edges, rewrite(r))
+	}
+	out.Rules = append(append(append([]datalog.Rule(nil), out.IDB...), out.Nodes...), out.Edges...)
+	return out
+}
+
+// checkPredicates verifies every body atom references either a base table
+// or a derived predicate, up front, so the error names the offending rule
+// rather than surfacing mid-iteration.
+func (ev *evaluator) checkPredicates(ps *datalog.ProgramSet) error {
+	idb := make(map[string]struct{})
+	for _, p := range ps.IDBPreds() {
+		idb[p] = struct{}{}
+	}
+	for _, r := range ps.Rules {
+		for _, a := range append(append([]datalog.Atom(nil), r.Body...), r.Negated...) {
+			name := strings.ToLower(a.Pred)
+			if _, ok := idb[name]; ok {
+				continue
+			}
+			if _, err := ev.db.Table(name); err != nil {
+				return fmt.Errorf("datalogeval: line %d col %d: predicate %q is neither a base table nor defined by a rule",
+					a.Line, a.Col, a.Pred)
+			}
+		}
+	}
+	return nil
+}
+
+// createTempTables infers a column type for every position of every
+// derived predicate by propagating types from the base tables through the
+// rules to fixpoint, then creates one empty temporary table per predicate.
+// Positions that remain unconstrained (the predicate can never derive a
+// tuple) default to Int.
+func (ev *evaluator) createTempTables(ps *datalog.ProgramSet) error {
+	preds := ps.IDBPreds()
+	arity := make(map[string]int, len(preds))
+	displayName := make(map[string]string, len(preds))
+	for _, r := range ps.IDB {
+		name := strings.ToLower(r.Head.Pred)
+		if _, ok := arity[name]; !ok {
+			arity[name] = len(r.Head.Terms)
+			displayName[name] = r.Head.Pred
+		}
+	}
+	types := make(map[string][]relstore.Type, len(preds))
+	known := make(map[string][]bool, len(preds))
+	for _, p := range preds {
+		types[p] = make([]relstore.Type, arity[p])
+		known[p] = make([]bool, arity[p])
+	}
+	// varType resolves the type a variable gets from the positive body of
+	// a rule, if any binding position has a known type yet.
+	varType := func(r datalog.Rule, v string) (relstore.Type, bool, error) {
+		for _, a := range r.Body {
+			for j, t := range a.Terms {
+				if t.Kind != datalog.TermVar || t.Var != v {
+					continue
+				}
+				name := strings.ToLower(a.Pred)
+				if _, ok := types[name]; ok {
+					if known[name][j] {
+						return types[name][j], true, nil
+					}
+					continue
+				}
+				tab, err := ev.db.Table(name)
+				if err != nil {
+					return 0, false, err
+				}
+				if j >= len(tab.Cols) {
+					return 0, false, fmt.Errorf("datalogeval: line %d col %d: atom %s has %d terms but table %s has %d columns",
+						a.Line, a.Col, a, len(a.Terms), tab.Name, len(tab.Cols))
+				}
+				return tab.Cols[j].Type, true, nil
+			}
+		}
+		return 0, false, nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range ps.IDB {
+			name := strings.ToLower(r.Head.Pred)
+			for i, t := range r.Head.Terms {
+				var ty relstore.Type
+				var ok bool
+				var err error
+				switch t.Kind {
+				case datalog.TermInt:
+					ty, ok = relstore.Int, true
+				case datalog.TermString:
+					ty, ok = relstore.String, true
+				default:
+					ty, ok, err = varType(r, t.Var)
+					if err != nil {
+						return err
+					}
+				}
+				if !ok {
+					continue
+				}
+				if known[name][i] && types[name][i] != ty {
+					return fmt.Errorf("datalogeval: line %d col %d: predicate %q derives both integer and string values at position %d",
+						r.Head.Line, r.Head.Col, r.Head.Pred, i+1)
+				}
+				if !known[name][i] {
+					known[name][i] = true
+					types[name][i] = ty
+					changed = true
+				}
+			}
+		}
+	}
+	for _, p := range preds {
+		cols := make([]relstore.Column, arity[p])
+		for i := range cols {
+			cols[i] = relstore.Column{Name: fmt.Sprintf("c%d", i), Type: types[p][i]}
+		}
+		if _, err := ev.db.Create(displayName[p], cols...); err != nil {
+			return err
+		}
+		ev.sets[p] = make(map[string]struct{})
+		ev.stats.TempTables++
+	}
+	return nil
+}
+
+// compiledRule is one rule of the stratum under evaluation with the body
+// positions of its recursive (same-stratum) atoms and its negated-atom
+// membership sets precomputed. Negation sets are built once per stratum —
+// stratified negation guarantees the negated tables are complete and
+// unchanging while this stratum iterates — and reused by every semi-naive
+// round.
+type compiledRule struct {
+	rule   datalog.Rule
+	recOcc []int
+	negs   []*negPattern
+}
+
+// evalStratum runs the fixpoint loop for one stratum (a set of mutually
+// recursive predicates, lowercased).
+func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
+	inLevel := make(map[string]struct{}, len(level))
+	for _, p := range level {
+		inLevel[p] = struct{}{}
+	}
+	var rules []*compiledRule
+	negCache := make(map[string]*negPattern)
+	for _, r := range ps.IDB {
+		if _, ok := inLevel[strings.ToLower(r.Head.Pred)]; !ok {
+			continue
+		}
+		cr := &compiledRule{rule: r}
+		for i, a := range r.Body {
+			if _, rec := inLevel[strings.ToLower(a.Pred)]; rec {
+				cr.recOcc = append(cr.recOcc, i)
+			}
+		}
+		for _, neg := range r.Negated {
+			// Memoize per pattern: rules sharing a negated atom (same
+			// predicate and term shape) reuse one membership set — the
+			// sets are immutable for the stratum's lifetime. Only the
+			// predicate name is case-folded; terms keep their case
+			// (variable names and string constants are case-sensitive,
+			// so 'ABC' and 'abc' are different patterns).
+			var kb strings.Builder
+			kb.WriteString(strings.ToLower(neg.Pred))
+			for _, t := range neg.Terms {
+				kb.WriteByte('\x00')
+				kb.WriteString(t.String())
+			}
+			key := kb.String()
+			np, ok := negCache[key]
+			if !ok {
+				var err error
+				if np, err = ev.compileNegation(neg); err != nil {
+					return err
+				}
+				negCache[key] = np
+			}
+			cr.negs = append(cr.negs, np)
+		}
+		rules = append(rules, cr)
+	}
+	if ev.opts.Naive {
+		return ev.evalStratumNaive(rules)
+	}
+
+	// Seeding round: every rule once against the current state (stratum
+	// tables empty, lower strata complete).
+	delta := make(map[string][][]relstore.Value)
+	for _, cr := range rules {
+		rel, err := ev.evalRuleBody(cr, -1, nil)
+		if err != nil {
+			return err
+		}
+		fresh, err := ev.insert(cr.rule.Head, rel)
+		if err != nil {
+			return err
+		}
+		pred := strings.ToLower(cr.rule.Head.Pred)
+		delta[pred] = append(delta[pred], fresh...)
+	}
+	ev.stats.Iterations++
+
+	// Delta rounds: re-derive only through rules with a recursive atom,
+	// substituting the delta for one occurrence at a time.
+	for {
+		any := false
+		for _, rows := range delta {
+			if len(rows) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil
+		}
+		next := make(map[string][][]relstore.Value)
+		for _, cr := range rules {
+			for _, occ := range cr.recOcc {
+				dpred := strings.ToLower(cr.rule.Body[occ].Pred)
+				if len(delta[dpred]) == 0 {
+					continue
+				}
+				rel, err := ev.evalRuleBody(cr, occ, delta[dpred])
+				if err != nil {
+					return err
+				}
+				fresh, err := ev.insert(cr.rule.Head, rel)
+				if err != nil {
+					return err
+				}
+				pred := strings.ToLower(cr.rule.Head.Pred)
+				next[pred] = append(next[pred], fresh...)
+			}
+		}
+		ev.stats.Iterations++
+		delta = next
+	}
+}
+
+// evalStratumNaive is the benchmark baseline: re-evaluate every rule
+// against the full relations until a full round derives nothing new.
+func (ev *evaluator) evalStratumNaive(rules []*compiledRule) error {
+	for {
+		changed := false
+		for _, cr := range rules {
+			rel, err := ev.evalRuleBody(cr, -1, nil)
+			if err != nil {
+				return err
+			}
+			fresh, err := ev.insert(cr.rule.Head, rel)
+			if err != nil {
+				return err
+			}
+			if len(fresh) > 0 {
+				changed = true
+			}
+		}
+		ev.stats.Iterations++
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// insert projects the evaluated body relation onto the head terms and
+// appends the tuples not already present, returning the fresh ones (the
+// next delta).
+func (ev *evaluator) insert(head datalog.Atom, rel *relstore.Rel) ([][]relstore.Value, error) {
+	pred := strings.ToLower(head.Pred)
+	t, err := ev.db.Table(pred)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(head.Terms))
+	consts := make([]relstore.Value, len(head.Terms))
+	for i, term := range head.Terms {
+		switch term.Kind {
+		case datalog.TermVar:
+			j, ok := rel.ColIndex(term.Var)
+			if !ok {
+				return nil, fmt.Errorf("datalogeval: head variable %q not bound by rule body (rule for %q)", term.Var, head.Pred)
+			}
+			idx[i] = j
+		case datalog.TermInt:
+			idx[i] = -1
+			consts[i] = relstore.IntVal(term.Int)
+		case datalog.TermString:
+			idx[i] = -1
+			consts[i] = relstore.StrVal(term.Str)
+		default:
+			return nil, fmt.Errorf("datalogeval: wildcard in head of %q", head.Pred)
+		}
+	}
+	set := ev.sets[pred]
+	var fresh [][]relstore.Value
+	for _, row := range rel.Rows {
+		out := make([]relstore.Value, len(head.Terms))
+		for i := range out {
+			if idx[i] < 0 {
+				out[i] = consts[i]
+			} else {
+				out[i] = row[idx[i]]
+			}
+		}
+		key := rowKey(out)
+		if _, dup := set[key]; dup {
+			continue
+		}
+		set[key] = struct{}{}
+		if err := t.Insert(out...); err != nil {
+			return nil, err
+		}
+		ev.stats.DerivedTuples++
+		if ev.opts.MaxDerivedTuples > 0 && ev.stats.DerivedTuples > ev.opts.MaxDerivedTuples {
+			return nil, fmt.Errorf("%w (%d)", ErrTooManyDerived, ev.opts.MaxDerivedTuples)
+		}
+		fresh = append(fresh, out)
+	}
+	return fresh, nil
+}
+
+// rowKey encodes a tuple unambiguously via the shared
+// relstore.Value.AppendKey encoding: values containing the "|" separator
+// cannot shift content between columns (e.g. ("a|sb","c") vs
+// ("a","b|sc") get distinct keys).
+func rowKey(row []relstore.Value) string {
+	var sb strings.Builder
+	for _, v := range row {
+		v.AppendKey(&sb)
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}

@@ -44,6 +44,12 @@ type Options struct {
 	// graph is identical for every setting. <= 0 means GOMAXPROCS; 1 is the
 	// serial path.
 	Workers int
+	// MaxDerivedTuples is carried for the Datalog program evaluator
+	// (internal/datalogeval), which shares this options struct through
+	// the public Engine: it bounds the tuples materialized for derived
+	// predicates before the plain extraction below runs. Extraction
+	// itself ignores it; 0 disables the guard.
+	MaxDerivedTuples int64
 }
 
 // DefaultOptions mirror the paper's settings.

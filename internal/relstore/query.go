@@ -14,10 +14,14 @@ type Rel struct {
 	Rows [][]Value
 }
 
-// ColIndex returns the index of the named column in the relation.
+// ColIndex returns the index of the named column in the relation. The
+// match is exact (unlike Table.ColIndex): Rel columns carry Datalog
+// variable names, which are case-sensitive — `x` and `X` are different
+// variables, and folding them would silently turn an intended cross
+// product into an equi-join.
 func (r *Rel) ColIndex(name string) (int, bool) {
 	for i, c := range r.Cols {
-		if strings.EqualFold(c, name) {
+		if c == name {
 			return i, true
 		}
 	}
@@ -134,11 +138,12 @@ func HashJoin(a, b *Rel, aCol, bCol string) (*Rel, error) {
 	return out, nil
 }
 
+// hashKey encodes one value for composite join/distinct keys via the
+// shared unambiguous encoding (Value.AppendKey).
 func hashKey(v Value) string {
-	if v.T == Int {
-		return fmt.Sprintf("i%d", v.I)
-	}
-	return "s" + v.S
+	var sb strings.Builder
+	v.AppendKey(&sb)
+	return sb.String()
 }
 
 // Project returns the relation restricted to the named columns, optionally

@@ -15,6 +15,7 @@ package relstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -50,6 +51,50 @@ func (v Value) Equal(o Value) bool {
 		return v.I == o.I
 	}
 	return v.S == o.S
+}
+
+// AppendKey writes an unambiguous encoding of v to sb, for composite
+// hash/dedup keys: integers render as digits, strings are
+// length-prefixed, so a value containing a caller's separator byte can
+// never shift content between key components. Callers append their own
+// separator between components. This is the single key encoding shared
+// by the relational operators (joins, distinct) and the Datalog
+// evaluator's tuple sets — extend it here, in one place, if Value ever
+// grows a new type.
+func (v Value) AppendKey(sb *strings.Builder) {
+	if v.T == Int {
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	} else {
+		sb.WriteByte('s')
+		sb.WriteString(strconv.Itoa(len(v.S)))
+		sb.WriteByte(':')
+		sb.WriteString(v.S)
+	}
+}
+
+// Compare totally orders two values: -1, 0, or +1. Ints order before
+// Strings (a deterministic cross-type convention for the Datalog
+// comparison literals); same-type values compare numerically or
+// lexicographically.
+func (v Value) Compare(o Value) int {
+	if v.T != o.T {
+		if v.T == Int {
+			return -1
+		}
+		return 1
+	}
+	if v.T == Int {
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(v.S, o.S)
 }
 
 // String renders the value.
@@ -275,6 +320,22 @@ func (db *DB) Create(name string, cols ...Column) (*Table, error) {
 	t := NewTable(name, cols...)
 	db.tables[key] = t
 	return t, nil
+}
+
+// Attach registers an existing table under its name, sharing storage with
+// every other DB it is attached to. The Datalog program evaluator uses this
+// to build an overlay database: the base tables attached by reference plus
+// freshly created temporary tables for the derived predicates, so the
+// extraction planner can resolve both without copying any base rows. The
+// overlay must not outlive mutations it does not observe — the evaluator
+// builds, uses, and discards it within one evaluation.
+func (db *DB) Attach(t *Table) error {
+	key := strings.ToLower(t.Name)
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("relstore: table %q already exists", t.Name)
+	}
+	db.tables[key] = t
+	return nil
 }
 
 // Table returns the named table.

@@ -255,3 +255,91 @@ func TestSubscribeSlotReuse(t *testing.T) {
 		t.Fatalf("subscriber slots = %d after 50 subscribe/cancel cycles, want 1", len(ap.subs))
 	}
 }
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntVal(1), IntVal(2), -1},
+		{IntVal(2), IntVal(2), 0},
+		{IntVal(3), IntVal(2), 1},
+		{StrVal("a"), StrVal("b"), -1},
+		{StrVal("b"), StrVal("b"), 0},
+		{StrVal("c"), StrVal("b"), 1},
+		// Cross-type: Ints order before Strings, deterministically.
+		{IntVal(999), StrVal(""), -1},
+		{StrVal(""), IntVal(999), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDBAttach(t *testing.T) {
+	base, _, ap := makeAuthors(t)
+	overlay := NewDB()
+	tables := base.TableNames()
+	for _, name := range tables {
+		tab, err := base.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := overlay.Attach(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shared storage: a row inserted through the base table is visible in
+	// the overlay, and vice versa nothing is copied.
+	got, err := overlay.Table(ap.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ap {
+		t.Fatal("Attach copied the table instead of sharing it")
+	}
+	if err := overlay.Attach(ap); err == nil {
+		t.Fatal("re-attaching an existing name must fail")
+	}
+	if _, err := overlay.Create("temp_p", Column{Name: "c0", Type: Int}); err != nil {
+		t.Fatal(err)
+	}
+	if len(overlay.TableNames()) != len(tables)+1 {
+		t.Fatalf("overlay tables = %v", overlay.TableNames())
+	}
+	if len(base.TableNames()) != len(tables) {
+		t.Fatal("creating an overlay temp table leaked into the base DB")
+	}
+}
+
+// TestJoinKeyDelimiterStrings: composite join keys must be unambiguous
+// when string values contain the separator ("a|sb","c") vs ("a","b|sc").
+func TestJoinKeyDelimiterStrings(t *testing.T) {
+	a := &Rel{Cols: []string{"x", "y"}, Rows: [][]Value{
+		{StrVal("a|sb"), StrVal("c")},
+		{StrVal("a"), StrVal("b|sc")},
+	}}
+	b := &Rel{Cols: []string{"x", "y", "z"}, Rows: [][]Value{
+		{StrVal("a|sb"), StrVal("c"), IntVal(1)},
+	}}
+	out, err := MultiJoin(a, b, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 {
+		t.Fatalf("join produced %d rows, want 1 (ambiguous keys matched a phantom pair)", len(out.Rows))
+	}
+	if !out.Rows[0][0].Equal(StrVal("a|sb")) {
+		t.Fatalf("joined the wrong row: %v", out.Rows[0])
+	}
+	// Distinct projection must keep both delimiter-twins.
+	proj, err := Project(a, []string{"x", "y"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Rows) != 2 {
+		t.Fatalf("distinct dropped a delimiter-twin: %d rows, want 2", len(proj.Rows))
+	}
+}

@@ -3,7 +3,10 @@ package server
 import (
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"graphgen"
 )
 
 // RouteStats aggregates the requests served by one route pattern.
@@ -17,12 +20,47 @@ type RouteStats struct {
 	maxNS   int64
 }
 
-// metrics tracks per-route request counters and latencies. It is the
-// /metrics backing store; the cache keeps its own counters.
+// EvalStats aggregates the Datalog evaluation counters of every
+// program-built session since daemon start: how many programs ran, and
+// the total strata, semi-naive iterations, and derived tuples their
+// evaluations cost.
+type EvalStats struct {
+	Programs      int64 `json:"programs"`
+	Strata        int64 `json:"strata"`
+	Iterations    int64 `json:"iterations"`
+	DerivedTuples int64 `json:"derived_tuples"`
+}
+
+// metrics tracks per-route request counters and latencies plus the
+// program-evaluation counters. It is the /metrics backing store; the
+// cache keeps its own counters.
 type metrics struct {
 	mu     sync.Mutex
 	start  time.Time
 	routes map[string]*RouteStats
+
+	evalPrograms   atomic.Int64
+	evalStrata     atomic.Int64
+	evalIterations atomic.Int64
+	evalDerived    atomic.Int64
+}
+
+// observeEval records one successful program evaluation.
+func (m *metrics) observeEval(es graphgen.EvalStats) {
+	m.evalPrograms.Add(1)
+	m.evalStrata.Add(int64(es.Strata))
+	m.evalIterations.Add(int64(es.Iterations))
+	m.evalDerived.Add(es.DerivedTuples)
+}
+
+// evalSnapshot returns the aggregated program-evaluation counters.
+func (m *metrics) evalSnapshot() EvalStats {
+	return EvalStats{
+		Programs:      m.evalPrograms.Load(),
+		Strata:        m.evalStrata.Load(),
+		Iterations:    m.evalIterations.Load(),
+		DerivedTuples: m.evalDerived.Load(),
+	}
 }
 
 func newMetrics() *metrics {

@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	POST   /graphs                          extract a query into a session
+//	POST   /graphs                          extract a query or Datalog program into a session
 //	GET    /graphs                          list sessions
 //	DELETE /graphs/{name}                   drop a session
 //	GET    /graphs/{name}/stats             size and maintenance counters
@@ -16,6 +16,15 @@
 //	POST   /db/{table}/delete               remove rows (live graphs follow)
 //	GET    /healthz                         liveness
 //	GET    /metrics                         request/latency/cache counters
+//
+// Sessions created with a "program" body field evaluate a multi-rule
+// Datalog program (derived predicates, recursion, stratified negation,
+// comparison literals) through the semi-naive evaluator before
+// extraction. Program sessions are static-only: derived predicates are
+// not incrementally maintained under table mutations, so live=true is
+// rejected with a clear error — re-create the session to observe new
+// data. /metrics aggregates their evaluation counters (programs run,
+// strata, iterations, derived tuples) under "datalog_eval".
 //
 // Analytics results are memoized in a size-bounded LRU keyed by
 // (session instance, snapshot version, analysis, canonical params). Static
@@ -58,17 +67,33 @@ type Options struct {
 	CacheBytes int64
 	// MaxSessions bounds concurrent named sessions (default 64).
 	MaxSessions int
+	// MaxDerivedTuples bounds the tuples a Datalog program session may
+	// materialize during evaluation (default 10 million; < 0 disables).
+	// The evaluator enforces it on derived tuples and, at a 16x
+	// headroom, on per-rule intermediate join rows. Program evaluation
+	// holds the database lock, so an unbounded runaway recursion or
+	// exploding join would stall every other request — requests may
+	// lower the bound per session ("max_derived_tuples") but not raise
+	// it past this cap.
+	MaxDerivedTuples int64
 }
+
+// defaultMaxDerivedTuples caps program-evaluation materialization when
+// Options.MaxDerivedTuples is zero.
+const defaultMaxDerivedTuples = 10_000_000
 
 // session is one served graph: static (detached snapshot) or live
 // (incrementally maintained). Exactly one of static/live is non-nil.
 // id is a daemon-unique instance nonce: cache keys use it instead of
 // the name, so results of a deleted session can never leak into a
-// later session re-created under the same name.
+// later session re-created under the same name. program records that
+// query holds a multi-rule Datalog program built by ExtractProgram
+// (such sessions are always static).
 type session struct {
 	id      uint64
 	name    string
 	query   string
+	program bool
 	static  *graphgen.Graph
 	live    *graphgen.LiveGraph
 	created time.Time
@@ -78,7 +103,8 @@ type session struct {
 // tests drive it through httptest, cmd/graphgend mounts it on a real
 // port.
 type Server struct {
-	engine *graphgen.Engine
+	engine           *graphgen.Engine
+	maxDerivedTuples int64
 
 	// dbMu serializes everything that touches relational tables:
 	// inserts, deletes, and extractions (which read rows and the lazily
@@ -101,12 +127,19 @@ func New(engine *graphgen.Engine, opts Options) *Server {
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = 64
 	}
+	if opts.MaxDerivedTuples == 0 {
+		opts.MaxDerivedTuples = defaultMaxDerivedTuples
+	}
+	if opts.MaxDerivedTuples < 0 {
+		opts.MaxDerivedTuples = 0 // explicit opt-out of the guard
+	}
 	s := &Server{
-		engine:      engine,
-		sessions:    make(map[string]*session),
-		maxSessions: opts.MaxSessions,
-		cache:       newResultCache(opts.CacheEntries, opts.CacheBytes),
-		metrics:     newMetrics(),
+		engine:           engine,
+		maxDerivedTuples: opts.MaxDerivedTuples,
+		sessions:         make(map[string]*session),
+		maxSessions:      opts.MaxSessions,
+		cache:            newResultCache(opts.CacheEntries, opts.CacheBytes),
+		metrics:          newMetrics(),
 	}
 	s.mux = http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
@@ -202,8 +235,12 @@ func (s *Server) lookup(name string) (*session, bool) {
 type createRequest struct {
 	Name     string `json:"name"`
 	Query    string `json:"query"`
+	Program  string `json:"program"`
 	Live     bool   `json:"live"`
 	MaxEdges int64  `json:"max_edges"`
+	// MaxDerivedTuples lowers the server's program-evaluation budget for
+	// this session; values above the server cap are clamped to it.
+	MaxDerivedTuples int64 `json:"max_derived_tuples"`
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
@@ -216,8 +253,16 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "session name must match [A-Za-z0-9_-]{1,64}")
 		return
 	}
-	if req.Query == "" {
-		writeErr(w, http.StatusBadRequest, "query must not be empty")
+	if req.Query == "" && req.Program == "" {
+		writeErr(w, http.StatusBadRequest, `body must carry "query" (non-recursive extraction) or "program" (multi-rule Datalog)`)
+		return
+	}
+	if req.Query != "" && req.Program != "" {
+		writeErr(w, http.StatusBadRequest, `"query" and "program" are mutually exclusive`)
+		return
+	}
+	if req.Program != "" && req.Live {
+		writeErr(w, http.StatusBadRequest, "program sessions are static-only: live incremental maintenance of derived predicates is not supported; re-create with live=false and rebuild after mutations")
 		return
 	}
 	// Pre-check name and capacity before paying for the extraction (the
@@ -243,15 +288,28 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	sess := &session{id: s.nextID.Add(1), name: req.Name, query: req.Query, created: time.Now()}
 	s.dbMu.Lock()
 	var err error
-	if req.Live {
+	switch {
+	case req.Program != "":
+		sess.program, sess.query = true, req.Program
+		budget := s.maxDerivedTuples
+		if req.MaxDerivedTuples > 0 && (budget <= 0 || req.MaxDerivedTuples < budget) {
+			budget = req.MaxDerivedTuples
+		}
+		sess.static, err = s.engine.ExtractProgram(req.Program, append(opts, graphgen.WithMaxDerivedTuples(budget))...)
+	case req.Live:
 		sess.live, err = s.engine.ExtractLive(req.Query, opts...)
-	} else {
+	default:
 		sess.static, err = s.engine.Extract(req.Query, opts...)
 	}
 	s.dbMu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "extraction failed: %v", err)
 		return
+	}
+	if sess.program {
+		if es, ok := sess.static.ProgramStats(); ok {
+			s.metrics.observeEval(es)
+		}
 	}
 	s.sessMu.Lock()
 	if _, exists := s.sessions[req.Name]; exists {
@@ -275,13 +333,14 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
 	type item struct {
 		Name    string    `json:"name"`
 		Live    bool      `json:"live"`
+		Program bool      `json:"program"`
 		Query   string    `json:"query"`
 		Created time.Time `json:"created"`
 	}
 	s.sessMu.RLock()
 	out := make([]item, 0, len(s.sessions))
 	for _, sess := range s.sessions {
-		out = append(out, item{Name: sess.name, Live: sess.live != nil, Query: sess.query, Created: sess.created})
+		out = append(out, item{Name: sess.name, Live: sess.live != nil, Program: sess.program, Query: sess.query, Created: sess.created})
 	}
 	s.sessMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -335,6 +394,17 @@ func (s *Server) statsPayload(sess *session) map[string]any {
 	out["logical_edges"] = g.LogicalEdges()
 	out["mem_bytes"] = g.MemBytes()
 	out["version"] = uint64(0)
+	if sess.program {
+		out["program"] = true
+		if es, ok := g.ProgramStats(); ok {
+			out["eval"] = map[string]int64{
+				"strata":         int64(es.Strata),
+				"iterations":     int64(es.Iterations),
+				"derived_tuples": es.DerivedTuples,
+				"temp_tables":    int64(es.TempTables),
+			}
+		}
+	}
 	return out
 }
 
@@ -733,9 +803,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	n := len(s.sessions)
 	s.sessMu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s": uptime.Seconds(),
-		"sessions": n,
-		"requests": routes,
-		"cache":    s.cache.stats(),
+		"uptime_s":     uptime.Seconds(),
+		"sessions":     n,
+		"requests":     routes,
+		"cache":        s.cache.stats(),
+		"datalog_eval": s.metrics.evalSnapshot(),
 	})
 }

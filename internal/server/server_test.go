@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -544,5 +545,226 @@ func TestCacheEviction(t *testing.T) {
 	st := s.cache.stats()
 	if st.Evictions < 1 || st.Entries > 2 {
 		t.Fatalf("eviction accounting: %+v", st)
+	}
+}
+
+// --- Datalog program sessions ---
+
+// reachProgramFor builds the transitive co-authorship reachability
+// program served over the DBLP-like fixture.
+const reachProgram = `
+Coauthor(A, B) :- AuthorPub(A, P), AuthorPub(B, P), A != B.
+Reach(A, B) :- Coauthor(A, B).
+Reach(A, C) :- Reach(A, B), Coauthor(B, C).
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(A, B) :- Reach(A, B).
+`
+
+// TestProgramSessionMatchesFixpoint creates a recursive-program session
+// over HTTP and asserts its edges equal an independently computed
+// reachability fixpoint of the underlying co-author relation.
+func TestProgramSessionMatchesFixpoint(t *testing.T) {
+	s, ts := newTestServer(t, 60, 45)
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "reach", "program": reachProgram,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d, body %v", code, body)
+	}
+	if body["program"] != true {
+		t.Fatalf("stats payload lacks program flag: %v", body)
+	}
+	ev, ok := body["eval"].(map[string]any)
+	if !ok || ev["strata"].(float64) != 2 || ev["derived_tuples"].(float64) <= 0 {
+		t.Fatalf("eval counters missing or wrong: %v", body)
+	}
+
+	// Independent fixpoint: co-author adjacency from the relational
+	// tables, then per-source BFS.
+	ap, err := s.engine.DB().Table("AuthorPub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPub := make(map[int64][]int64)
+	for _, row := range ap.Rows {
+		byPub[row[1].I] = append(byPub[row[1].I], row[0].I)
+	}
+	adj := make(map[int64]map[int64]struct{})
+	link := func(a, b int64) {
+		if adj[a] == nil {
+			adj[a] = make(map[int64]struct{})
+		}
+		adj[a][b] = struct{}{}
+	}
+	for _, authors := range byPub {
+		for _, a := range authors {
+			for _, b := range authors {
+				if a != b {
+					link(a, b)
+				}
+			}
+		}
+	}
+	reach := func(src int64) map[int64]struct{} {
+		out := make(map[int64]struct{})
+		queue := []int64{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range adj[u] {
+				if _, seen := out[v]; seen {
+					continue
+				}
+				out[v] = struct{}{}
+				queue = append(queue, v)
+			}
+		}
+		return out
+	}
+
+	authors, err := s.engine.DB().Table("Author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, row := range authors.Rows {
+		src := row[0].I
+		want := reach(src)
+		delete(want, src) // extraction drops self loops by default
+		code, res := doJSON(t, "GET", fmt.Sprintf("%s/graphs/reach/neighbors?v=%d", ts.URL, src), nil)
+		if code != http.StatusOK {
+			t.Fatalf("neighbors(%d): status %d: %v", src, code, res)
+		}
+		got := res["neighbors"].([]any)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", src, len(got), len(want))
+		}
+		for _, n := range got {
+			if _, ok := want[int64(n.(float64))]; !ok {
+				t.Fatalf("vertex %d: neighbor %v not in fixpoint", src, n)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no authors checked")
+	}
+}
+
+func TestProgramSessionValidation(t *testing.T) {
+	_, ts := newTestServer(t, 40, 30)
+
+	// live=true with a program: clear static-only error.
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "p1", "program": reachProgram, "live": true,
+	})
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "static-only") {
+		t.Fatalf("live program: status %d, body %v", code, body)
+	}
+
+	// query and program together.
+	code, body = doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "p2", "program": reachProgram, "query": datagen.QueryCoauthors,
+	})
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "mutually exclusive") {
+		t.Fatalf("both: status %d, body %v", code, body)
+	}
+
+	// neither.
+	code, body = doJSON(t, "POST", ts.URL+"/graphs", map[string]any{"name": "p3"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("neither: status %d, body %v", code, body)
+	}
+
+	// unstratifiable program surfaces as extraction failure.
+	code, body = doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name":    "p4",
+		"program": "P(A) :- Author(A, _), !P(A).\nNodes(A) :- Author(A, _).\nEdges(A, B) :- P(A), P(B).",
+	})
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "negation cycle") {
+		t.Fatalf("unstratifiable: status %d, body %v", code, body)
+	}
+}
+
+// TestMetricsEvalCounters asserts /metrics aggregates evaluation counters
+// across program-built sessions and stays zero without them.
+func TestMetricsEvalCounters(t *testing.T) {
+	_, ts := newTestServer(t, 40, 30)
+
+	code, m := doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	ev := m["datalog_eval"].(map[string]any)
+	if ev["programs"].(float64) != 0 {
+		t.Fatalf("programs = %v before any session", ev["programs"])
+	}
+
+	createSession(t, ts, "plain", false) // query sessions must not count
+	for _, name := range []string{"r1", "r2"} {
+		code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+			"name": name, "program": reachProgram,
+		})
+		if code != http.StatusCreated {
+			t.Fatalf("create %s: %d %v", name, code, body)
+		}
+	}
+	// A failed program must not bump the counters.
+	doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "bad", "program": "Nodes(",
+	})
+
+	code, m = doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	ev = m["datalog_eval"].(map[string]any)
+	if ev["programs"].(float64) != 2 {
+		t.Fatalf("programs = %v, want 2", ev["programs"])
+	}
+	if ev["strata"].(float64) != 4 { // 2 strata per reach program
+		t.Fatalf("strata = %v, want 4", ev["strata"])
+	}
+	if ev["iterations"].(float64) <= 0 || ev["derived_tuples"].(float64) <= 0 {
+		t.Fatalf("iterations/derived_tuples not aggregated: %v", ev)
+	}
+
+	// Sessions listing flags program sessions.
+	_, list := doJSON(t, "GET", ts.URL+"/graphs", nil)
+	progCount := 0
+	for _, it := range list["sessions"].([]any) {
+		if it.(map[string]any)["program"] == true {
+			progCount++
+		}
+	}
+	if progCount != 2 {
+		t.Fatalf("program sessions listed = %d, want 2", progCount)
+	}
+}
+
+// TestProgramSessionDerivedBudget: the server caps program-evaluation
+// materialization (default 10M; requests may lower it), so a runaway
+// recursion fails fast instead of stalling the daemon under dbMu.
+func TestProgramSessionDerivedBudget(t *testing.T) {
+	_, ts := newTestServer(t, 60, 45)
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "tiny", "program": reachProgram, "max_derived_tuples": 5,
+	})
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "derived tuples exceed") {
+		t.Fatalf("budgeted create: status %d, body %v", code, body)
+	}
+	// The failed evaluation must not leave a session behind.
+	if code, _ := doJSON(t, "GET", ts.URL+"/graphs/tiny/stats", nil); code != http.StatusNotFound {
+		t.Fatalf("failed session visible: %d", code)
+	}
+	// A per-request value cannot raise the server cap.
+	s2 := New(graphgen.NewEngine(datagen.DBLPLike(7, 60, 45)), Options{MaxDerivedTuples: 5})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() { ts2.Close(); s2.Close() }()
+	code, body = doJSON(t, "POST", ts2.URL+"/graphs", map[string]any{
+		"name": "raise", "program": reachProgram, "max_derived_tuples": 1 << 40,
+	})
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "derived tuples exceed") {
+		t.Fatalf("cap raise attempt: status %d, body %v", code, body)
 	}
 }
