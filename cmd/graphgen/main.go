@@ -60,6 +60,7 @@ type config struct {
 	suggest     bool
 	csvTables   string
 	workers     int
+	noIndex     bool
 }
 
 // errParseReported marks a flag.Parse failure: the FlagSet has already
@@ -107,6 +108,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	suggestFlag := fs.Bool("suggest", false, "propose candidate extraction queries for the dataset's schema and exit")
 	csvTables := fs.String("csv", "", "comma-separated name=path.csv pairs loaded into a fresh database instead of -dataset")
 	workers := fs.Int("workers", 0, "worker-pool parallelism for extraction and conversion (0 = GOMAXPROCS, 1 = serial)")
+	noIndex := fs.Bool("no-index", false, "disable automatic secondary hash indexes on join/predicate columns (indexes are on by default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return config{}, err
@@ -125,6 +127,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		suggest:     *suggestFlag,
 		csvTables:   *csvTables,
 		workers:     *workers,
+		noIndex:     *noIndex,
 	}
 	var err error
 	if cfg.rep, err = parseRep(*rep); err != nil {
@@ -185,7 +188,7 @@ func dispatch(cfg config, stdout io.Writer) error {
 		}
 		return nil
 	}
-	engine := graphgen.NewEngine(db, graphgen.WithParallelism(cfg.workers))
+	engine := graphgen.NewEngine(db, graphgen.WithParallelism(cfg.workers), graphgen.WithAutoIndex(!cfg.noIndex))
 	var g *graphgen.Graph
 	if cfg.programFile != "" {
 		data, err := os.ReadFile(cfg.programFile)

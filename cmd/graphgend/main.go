@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "dataset generator seed")
 	csvTables := fs.String("csv", "", "comma-separated name=path.csv pairs loaded instead of -dataset")
 	workers := fs.Int("workers", 0, "extraction worker-pool parallelism (0 = GOMAXPROCS)")
+	noIndex := fs.Bool("no-index", false, "disable automatic secondary hash indexes on join/predicate columns (indexes are on by default)")
 	cacheEntries := fs.Int("cache-entries", 256, "analytics cache: max entries")
 	cacheMB := fs.Int64("cache-mb", 64, "analytics cache: max total result megabytes")
 	maxSessions := fs.Int("max-sessions", 64, "max concurrent graph sessions")
@@ -72,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
-	engine := graphgen.NewEngine(db, graphgen.WithParallelism(*workers))
+	engine := graphgen.NewEngine(db, graphgen.WithParallelism(*workers), graphgen.WithAutoIndex(!*noIndex))
 	srv := server.New(engine, server.Options{
 		CacheEntries:     *cacheEntries,
 		CacheBytes:       *cacheMB << 20,

@@ -126,6 +126,25 @@ func WithLargeOutputFactor(f float64) Option {
 	return func(o *extract.Options) { o.LargeOutputFactor = f }
 }
 
+// WithAutoIndex toggles the secondary-index subsystem (on by default).
+// When on, the engine creates per-column hash indexes on every join and
+// equality-predicate column an extraction query (or Datalog program)
+// reads, the first time it reads them; the planner then costs the
+// index-backed access paths against the parallel scans using the catalog
+// statistics. Indexes live on the tables — maintained incrementally under
+// Insert/Delete/DeleteWhere through the same mutation path that feeds the
+// change log — so they are reused across extractions, across the
+// semi-naive delta rounds of ExtractProgram, and across live-graph
+// rebuilds. Indexed and unindexed extraction produce identical graphs;
+// WithAutoIndex(false) exists for controlled comparisons (and the
+// graphgend -no-index flag). Note that extraction with auto-indexing on
+// writes index structures into the database's tables, which, like the
+// lazily recomputed statistics catalog, means concurrent extractions over
+// one DB must be serialized by the caller.
+func WithAutoIndex(on bool) Option {
+	return func(o *extract.Options) { o.NoIndex = !on }
+}
+
 // WithParallelism bounds the extraction pipeline's worker-pool parallelism:
 // the relational scans, the conjunctive-join probe phase, and the Step-6
 // preprocessing pass all partition their work across n workers with

@@ -60,6 +60,19 @@ func compilePattern(atom datalog.Atom, t *relstore.Table) (*atomPattern, error) 
 	return p, nil
 }
 
+// scanPreds converts the pattern's constant selections into the
+// relational operators' predicate form.
+func (p *atomPattern) scanPreds() []relstore.Pred {
+	if len(p.preds) == 0 {
+		return nil
+	}
+	out := make([]relstore.Pred, len(p.preds))
+	for i, pr := range p.preds {
+		out[i] = relstore.Pred{Col: pr.col, Value: pr.val}
+	}
+	return out
+}
+
 // matches reports whether a table row satisfies the pattern's constant
 // selections and repeated-variable equalities.
 func (p *atomPattern) matches(row []relstore.Value) bool {
@@ -130,11 +143,71 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 		if err != nil {
 			return nil, err
 		}
-		rows := t.Rows
-		if i == deltaOcc {
-			rows = deltaRows
+		p, err := compilePattern(atom, t)
+		if err != nil {
+			return nil, err
 		}
-		return atomRel(atom, t, rows, workers)
+		if i == deltaOcc {
+			return patternRel(p, deltaRows, workers)
+		}
+		// Full-relation occurrence: let the planner cost an index bucket
+		// lookup against the parallel scan (identical output either way).
+		if !ev.opts.NoIndex && len(p.equalities) == 0 {
+			return relstore.ScanAuto(t, p.scanPreds(), p.cols, p.names, workers)
+		}
+		return patternRel(p, t.Rows, workers)
+	}
+	// joinNext joins cur with body atom i on the shared variables,
+	// probing the table's persistent hash index instead of scanning and
+	// building a throwaway hash table when the join is on a single
+	// variable whose column is indexed and the accumulated relation is
+	// small next to the column's distinct count (the same cost rule the
+	// extraction planner uses). Delta occurrences never take the index
+	// path: their row source is the delta slice, not the table. The
+	// pattern is compiled once and shared by the index probe and the scan
+	// fallback.
+	joinNext := func(cur *relstore.Rel, i int, shared []string) (*relstore.Rel, error) {
+		var rel *relstore.Rel
+		if i == deltaOcc {
+			var err error
+			if rel, err = scan(i); err != nil {
+				return nil, err
+			}
+		} else {
+			atom := rule.Body[i]
+			t, err := ev.db.Table(atom.Pred)
+			if err != nil {
+				return nil, err
+			}
+			p, err := compilePattern(atom, t)
+			if err != nil {
+				return nil, err
+			}
+			if !ev.opts.NoIndex && len(p.equalities) == 0 {
+				if len(shared) == 1 {
+					for k, name := range p.names {
+						if name != shared[0] {
+							continue
+						}
+						if ix := t.Index(t.Cols[p.cols[k]].Name); ix != nil && 2*len(cur.Rows) <= ix.NKeys() {
+							return relstore.IndexedJoin(cur, shared[0], t, p.scanPreds(), p.cols, p.names, workers)
+						}
+						break
+					}
+				}
+				if rel, err = relstore.ScanAuto(t, p.scanPreds(), p.cols, p.names, workers); err != nil {
+					return nil, err
+				}
+			} else if rel, err = patternRel(p, t.Rows, workers); err != nil {
+				return nil, err
+			}
+		}
+		if len(shared) == 0 {
+			// Disconnected body: an explicit cross product (the planner
+			// invariant that every equi-join names its shared columns).
+			return relstore.CrossWorkers(cur, rel, workers)
+		}
+		return relstore.MultiJoinWorkers(cur, rel, shared, workers)
 	}
 
 	// Join order: start from the delta occurrence (it is the small side
@@ -171,11 +244,7 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 		if picked < 0 {
 			picked = 0 // disconnected: cross product (shared stays empty)
 		}
-		rel, err := scan(pending[picked])
-		if err != nil {
-			return nil, err
-		}
-		if cur, err = relstore.MultiJoinWorkers(cur, rel, shared, workers); err != nil {
+		if cur, err = joinNext(cur, pending[picked], shared); err != nil {
 			return nil, err
 		}
 		pending = append(pending[:picked], pending[picked+1:]...)
@@ -232,15 +301,11 @@ func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
 	return out
 }
 
-// atomRel turns one positive atom over a row source into a relation:
-// constant terms select, repeated variables filter, variable positions
-// project under their variable names. The row loop fans out through the
-// worker pool with a chunk-ordered merge.
-func atomRel(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, workers int) (*relstore.Rel, error) {
-	p, err := compilePattern(atom, t)
-	if err != nil {
-		return nil, err
-	}
+// patternRel turns a compiled atom pattern over a row source into a
+// relation: constant terms select, repeated variables filter, variable
+// positions project under their variable names. The row loop fans out
+// through the worker pool with a chunk-ordered merge.
+func patternRel(p *atomPattern, rows [][]relstore.Value, workers int) (*relstore.Rel, error) {
 	out := &relstore.Rel{Cols: p.names}
 	chunks := parallel.MapChunks(len(rows), workers, 0, func(lo, hi int) [][]relstore.Value {
 		var sel [][]relstore.Value

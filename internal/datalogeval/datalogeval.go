@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"graphgen/internal/datalog"
+	"graphgen/internal/extract"
 	"graphgen/internal/relstore"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// fixpoint. It exists as the benchmark baseline; results are
 	// identical.
 	Naive bool
+	// NoIndex disables the secondary-index machinery: no hash indexes are
+	// auto-created on the rules' join and predicate columns (base tables
+	// and derived temp tables alike) and the index-backed access paths are
+	// never chosen. Results are identical either way; the switch exists
+	// for controlled comparisons and mirrors extract.Options.NoIndex.
+	NoIndex bool
 }
 
 // Stats describes one program evaluation.
@@ -122,6 +129,16 @@ func Evaluate(base *relstore.DB, ps *datalog.ProgramSet, opts Options) (*Result,
 	}
 	if err := ev.createTempTables(ps); err != nil {
 		return nil, err
+	}
+	// Index the IDB rules' join and predicate columns up front: temp
+	// tables are created empty, so their indexes cost nothing to build and
+	// are then maintained incrementally by every insert — which is what
+	// lets the semi-naive loop probe a persistent index each delta round
+	// instead of rebuilding a hash table per iteration. (The Nodes/Edges
+	// statements are indexed later by extract.Extract over the same
+	// overlay database.)
+	if !opts.NoIndex {
+		extract.EnsureIndexes(ov, ps.IDB)
 	}
 	ev.stats.Strata = len(strata.Levels)
 	for _, level := range strata.Levels {

@@ -109,7 +109,7 @@ func PlanEdges(db *relstore.DB, rule datalog.Rule, opts Options) (*EdgePlan, err
 func wirePlan(db *relstore.DB, g *core.Graph, plan *EdgePlan, opts Options, st *Stats) error {
 	rels := make([]*relstore.Rel, len(plan.Segments))
 	for i, s := range plan.Segments {
-		rel, err := EvalConjunctive(db, s.Atoms, []string{s.InVar, s.OutVar}, true, opts.Workers)
+		rel, err := EvalConjunctive(db, s.Atoms, []string{s.InVar, s.OutVar}, true, opts)
 		if err != nil {
 			return err
 		}

@@ -12,18 +12,22 @@ import (
 // shared variables, and a final distinct projection. The extraction planner
 // uses it both for the in-segment joins it "hands to the database" and for
 // Case 2 full expansion. Scans and the join probe phase run on the shared
-// worker pool (internal/parallel) with chunk-ordered merges, so results are
-// identical for every worker count.
+// worker pool (internal/parallel) with chunk-ordered merges, and the
+// planner swaps in the index-backed access paths (relstore.IndexScan /
+// relstore.IndexedJoin) when a persistent hash index is present and the
+// catalog statistics say it beats the parallel scan — every choice
+// produces an identical relation, so results do not depend on the worker
+// count or on which indexes happen to exist.
 
 // EvalConjunctive joins the atoms on their shared variables and projects
 // outVars. The atom list must be connected (every atom shares a variable
-// with the part already joined). workers bounds the scan/probe parallelism
-// (<= 0 means GOMAXPROCS).
-func EvalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool, workers int) (*relstore.Rel, error) {
+// with the part already joined). opts supplies the scan/probe parallelism
+// (Workers <= 0 means GOMAXPROCS) and the NoIndex switch.
+func EvalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool, opts Options) (*relstore.Rel, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("extract: empty rule body")
 	}
-	cur, err := scanAtom(db, atoms[0], workers)
+	cur, err := scanAtom(db, atoms[0], opts)
 	if err != nil {
 		return nil, err
 	}
@@ -45,17 +49,48 @@ func EvalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, di
 		if picked < 0 {
 			return nil, fmt.Errorf("extract: rule body is disconnected (atom %s shares no variable)", pending[0])
 		}
-		rel, err := scanAtom(db, pending[picked], workers)
-		if err != nil {
-			return nil, err
-		}
-		cur, err = relstore.MultiJoinWorkers(cur, rel, shared, workers)
+		cur, err = joinAtom(db, cur, pending[picked], shared, opts)
 		if err != nil {
 			return nil, err
 		}
 		pending = append(pending[:picked], pending[picked+1:]...)
 	}
 	return relstore.Project(cur, outVars, distinct)
+}
+
+// joinAtom joins cur with one more atom on the shared variables. When the
+// join is on a single variable whose table column carries a hash index,
+// the planner costs probing that persistent index (touching ~|cur| * N/d
+// table rows) against scanning the table and building a throwaway hash
+// table (touching all N rows): under the uniformity assumption the index
+// wins when the accumulated relation is small next to the column's
+// distinct count. Both paths produce identical output.
+func joinAtom(db *relstore.DB, cur *relstore.Rel, atom datalog.Atom, shared []string, opts Options) (*relstore.Rel, error) {
+	sc, err := compileAtomScan(db, atom)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoIndex && len(shared) == 1 && len(sc.equalities) == 0 {
+		if ni := indexOfName(sc.names, shared[0]); ni >= 0 {
+			if ix := sc.t.Index(sc.t.Cols[sc.cols[ni]].Name); ix != nil && 2*len(cur.Rows) <= ix.NKeys() {
+				return relstore.IndexedJoin(cur, shared[0], sc.t, sc.preds, sc.cols, sc.names, opts.Workers)
+			}
+		}
+	}
+	rel, err := scanCompiled(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return relstore.MultiJoinWorkers(cur, rel, shared, opts.Workers)
+}
+
+func indexOfName(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
 }
 
 func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
@@ -68,10 +103,19 @@ func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
 	return out
 }
 
-// scanAtom scans the atom's table, applying constant terms as selection
-// predicates and intra-atom repeated variables as equality filters, and
-// projects the variable positions under their variable names.
-func scanAtom(db *relstore.DB, atom datalog.Atom, workers int) (*relstore.Rel, error) {
+// atomScan is one atom compiled against its table: constant terms as
+// selection predicates, intra-atom repeated variables as equality filters,
+// and the projection of the distinct variable positions under their
+// variable names.
+type atomScan struct {
+	t          *relstore.Table
+	preds      []relstore.Pred
+	cols       []int
+	names      []string
+	equalities [][2]int
+}
+
+func compileAtomScan(db *relstore.DB, atom datalog.Atom) (*atomScan, error) {
 	t, err := db.Table(atom.Pred)
 	if err != nil {
 		return nil, err
@@ -80,56 +124,121 @@ func scanAtom(db *relstore.DB, atom datalog.Atom, workers int) (*relstore.Rel, e
 		return nil, fmt.Errorf("extract: atom %s has %d terms but table %s has %d columns",
 			atom, len(atom.Terms), t.Name, len(t.Cols))
 	}
-	var preds []relstore.Pred
-	var cols []int
-	var names []string
+	sc := &atomScan{t: t}
 	firstPos := make(map[string]int)
-	var equalities [][2]int
 	for i, term := range atom.Terms {
 		switch term.Kind {
 		case datalog.TermInt:
-			preds = append(preds, relstore.Pred{Col: i, Value: relstore.IntVal(term.Int)})
+			sc.preds = append(sc.preds, relstore.Pred{Col: i, Value: relstore.IntVal(term.Int)})
 		case datalog.TermString:
-			preds = append(preds, relstore.Pred{Col: i, Value: relstore.StrVal(term.Str)})
+			sc.preds = append(sc.preds, relstore.Pred{Col: i, Value: relstore.StrVal(term.Str)})
 		case datalog.TermWildcard:
 			// ignored position
 		case datalog.TermVar:
 			if j, dup := firstPos[term.Var]; dup {
-				equalities = append(equalities, [2]int{j, i})
+				sc.equalities = append(sc.equalities, [2]int{j, i})
 				continue
 			}
 			firstPos[term.Var] = i
-			cols = append(cols, i)
-			names = append(names, term.Var)
+			sc.cols = append(sc.cols, i)
+			sc.names = append(sc.names, term.Var)
 		}
 	}
-	if len(equalities) == 0 {
-		return relstore.ScanWorkers(t, preds, cols, names, workers)
+	return sc, nil
+}
+
+// scanRel runs a compiled scan through the planner's access-path choice:
+// the catalog-costed ScanAuto (index vs parallel scan) unless indexing is
+// disabled.
+func scanRel(t *relstore.Table, preds []relstore.Pred, cols []int, names []string, opts Options) (*relstore.Rel, error) {
+	if opts.NoIndex {
+		return relstore.ScanWorkers(t, preds, cols, names, opts.Workers)
+	}
+	return relstore.ScanAuto(t, preds, cols, names, opts.Workers)
+}
+
+// scanCompiled materializes a compiled atom scan, handling the
+// repeated-variable case with a wide scan plus filter.
+func scanCompiled(sc *atomScan, opts Options) (*relstore.Rel, error) {
+	if len(sc.equalities) == 0 {
+		return scanRel(sc.t, sc.preds, sc.cols, sc.names, opts)
 	}
 	// Repeated variable within the atom: scan wide, filter, then project.
-	all := make([]int, len(t.Cols))
-	wide := make([]string, len(t.Cols))
-	for i := range t.Cols {
+	all := make([]int, len(sc.t.Cols))
+	wide := make([]string, len(sc.t.Cols))
+	for i := range sc.t.Cols {
 		all[i] = i
 		wide[i] = fmt.Sprintf("#%d", i)
 	}
-	raw, err := relstore.ScanWorkers(t, preds, all, wide, workers)
+	raw, err := scanRel(sc.t, sc.preds, all, wide, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &relstore.Rel{Cols: names}
+	out := &relstore.Rel{Cols: sc.names}
 rows:
 	for _, row := range raw.Rows {
-		for _, eq := range equalities {
+		for _, eq := range sc.equalities {
 			if !row[eq[0]].Equal(row[eq[1]]) {
 				continue rows
 			}
 		}
-		proj := make([]relstore.Value, len(cols))
-		for k, c := range cols {
+		proj := make([]relstore.Value, len(sc.cols))
+		for k, c := range sc.cols {
 			proj[k] = row[c]
 		}
 		out.Rows = append(out.Rows, proj)
 	}
 	return out, nil
+}
+
+// scanAtom scans the atom's table, applying constant terms as selection
+// predicates and intra-atom repeated variables as equality filters, and
+// projects the variable positions under their variable names.
+func scanAtom(db *relstore.DB, atom datalog.Atom, opts Options) (*relstore.Rel, error) {
+	sc, err := compileAtomScan(db, atom)
+	if err != nil {
+		return nil, err
+	}
+	return scanCompiled(sc, opts)
+}
+
+// EnsureIndexes walks the rules' positive bodies and creates (idempotently)
+// hash indexes on every column an access path can use: columns bound to a
+// constant term (equality predicates) and columns bound to a variable that
+// occurs more than once in the rule body (join columns, including the
+// chain planner's large-join attributes). Missing tables and excess terms
+// are skipped silently — evaluation surfaces those errors later with full
+// diagnostics. Indexes persist on the tables, maintained through the
+// mutation path, so one EnsureIndexes call serves every later extraction,
+// semi-naive delta round, and live rebuild over the same database.
+func EnsureIndexes(db *relstore.DB, rules []datalog.Rule) {
+	for _, r := range rules {
+		occurrences := make(map[string]int)
+		for _, a := range r.Body {
+			for _, term := range a.Terms {
+				if term.Kind == datalog.TermVar {
+					occurrences[term.Var]++
+				}
+			}
+		}
+		for _, a := range r.Body {
+			t, err := db.Table(a.Pred)
+			if err != nil {
+				continue
+			}
+			for i, term := range a.Terms {
+				if i >= len(t.Cols) {
+					break
+				}
+				switch term.Kind {
+				case datalog.TermInt, datalog.TermString:
+					_, _ = t.CreateIndex(t.Cols[i].Name)
+				case datalog.TermVar:
+					if occurrences[term.Var] >= 2 {
+						_, _ = t.CreateIndex(t.Cols[i].Name)
+					}
+				}
+			}
+		}
+	}
 }

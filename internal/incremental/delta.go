@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphgen/internal/datalog"
+	"graphgen/internal/extract"
 	"graphgen/internal/relstore"
 )
 
@@ -29,7 +30,15 @@ import (
 // positions under their variable names. binds adds variable = value
 // selection predicates — the semi-join pushdown that keeps a single-tuple
 // delta proportional to its output instead of the table size.
-func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, binds map[string]relstore.Value) (*relstore.Rel, error) {
+//
+// useIndex may be set only when rows is the table's own current row
+// storage (never a pre-state view rebuilt by withoutOneCopy/withOneExtra):
+// it narrows the row loop to the hash-index bucket of the most selective
+// indexed predicate — typically the pushed-down join binding — so a
+// single-tuple delta touches a bucket instead of the whole table. Indexes
+// are updated inside the mutation path before change-log subscribers run,
+// so the bucket reflects exactly the post-change state this path wants.
+func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, binds map[string]relstore.Value, useIndex bool) (*relstore.Rel, error) {
 	if len(atom.Terms) > len(t.Cols) {
 		return nil, fmt.Errorf("incremental: atom %s has %d terms but table %s has %d columns",
 			atom, len(atom.Terms), t.Name, len(t.Cols))
@@ -58,6 +67,21 @@ func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value,
 			if v, bound := binds[term.Var]; bound {
 				consts = append(consts, relstore.Pred{Col: i, Value: v})
 			}
+		}
+	}
+	if useIndex {
+		// Restrict the loop to the bucket of the most selective indexed
+		// predicate; buckets preserve table order, so the output is
+		// row-for-row what the full loop produces.
+		var best *relstore.Index
+		var bestVal relstore.Value
+		for _, p := range consts {
+			if ix := t.Index(t.Cols[p.Col].Name); ix != nil && (best == nil || ix.NKeys() > best.NKeys()) {
+				best, bestVal = ix, p.Value
+			}
+		}
+		if best != nil {
+			rows = best.Lookup(bestVal)
 		}
 	}
 	out := &relstore.Rel{Cols: names}
@@ -107,13 +131,13 @@ func withOneExtra(rows [][]relstore.Value, row []relstore.Value) [][]relstore.Va
 // segment. tbls resolves each atom to its table. The caller turns each pair
 // into a +1 or -1 count delta.
 func segmentDelta(atoms []datalog.Atom, tbls []*relstore.Table, inVar, outVar string,
-	t *relstore.Table, row []relstore.Value, insert bool, workers int) ([][2]relstore.Value, error) {
+	t *relstore.Table, row []relstore.Value, insert bool, opts extract.Options) ([][2]relstore.Value, error) {
 	var out [][2]relstore.Value
 	for i := range atoms {
 		if tbls[i] != t {
 			continue
 		}
-		bound, err := scanAtomRows(atoms[i], t, [][]relstore.Value{row}, nil)
+		bound, err := scanAtomRows(atoms[i], t, [][]relstore.Value{row}, nil, false)
 		if err != nil {
 			return nil, err
 		}
@@ -147,12 +171,15 @@ func segmentDelta(atoms []datalog.Atom, tbls []*relstore.Table, inVar, outVar st
 			}
 			j := pending[picked]
 			rows := tbls[j].Rows
+			current := true // rows is the live post-change storage
 			if tbls[j] == t {
 				// The occurrence convention of the delta rules above.
 				if insert && j < i {
 					rows = withoutOneCopy(rows, row) // pre-insert state
+					current = false
 				} else if !insert && j > i {
 					rows = withOneExtra(rows, row) // pre-delete state
+					current = false
 				}
 			}
 			var binds map[string]relstore.Value
@@ -163,11 +190,11 @@ func segmentDelta(atoms []datalog.Atom, tbls []*relstore.Table, inVar, outVar st
 					binds[v] = cur.Rows[0][c]
 				}
 			}
-			rel, err := scanAtomRows(atoms[j], tbls[j], rows, binds)
+			rel, err := scanAtomRows(atoms[j], tbls[j], rows, binds, current && !opts.NoIndex)
 			if err != nil {
 				return nil, err
 			}
-			joined, err := relstore.MultiJoinWorkers(cur, rel, shared, workers)
+			joined, err := relstore.MultiJoinWorkers(cur, rel, shared, opts.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -460,3 +460,76 @@ func TestLiveMaxEdges(t *testing.T) {
 		t.Fatalf("New with MaxEdges=1 = %v, want core.ErrTooLarge", err)
 	}
 }
+
+// TestLiveIndexedVsUnindexed maintains two live graphs over the same
+// mutating database — one with the index-backed delta path (the default),
+// one with NoIndex — and asserts after every batch of random updates that
+// both match each other and a fresh extraction. This pins down that index
+// maintenance under the change log keeps the delta evaluation exact:
+// indexes are updated before subscribers run, so the indexed delta scans
+// see the same post-change state the unindexed scans see.
+func TestLiveIndexedVsUnindexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	db, ap := coauthorDB(t, rng, 10, 40)
+	prog, err := datalog.Parse(coauthorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexedOpts := extract.Options{LargeOutputFactor: 2}
+	scanOpts := extract.Options{LargeOutputFactor: 2, NoIndex: true}
+	indexed, err := New(db, prog, indexedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer indexed.Close()
+	unindexed, err := New(db, prog, scanOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unindexed.Close()
+	for op := 1; op <= 120; op++ {
+		if rng.Intn(2) == 0 || ap.NumRows() == 0 {
+			if err := ap.Insert(relstore.IntVal(int64(rng.Intn(10)+1)), relstore.IntVal(int64(rng.Intn(6)+1))); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			victim := append([]relstore.Value(nil), ap.Rows[rng.Intn(ap.NumRows())]...)
+			if ok, err := ap.Delete(victim...); err != nil || !ok {
+				t.Fatalf("delete: ok=%v err=%v", ok, err)
+			}
+		}
+		if op%15 != 0 {
+			continue
+		}
+		step := fmt.Sprintf("after op %d", op)
+		checkEquivalence(t, indexed, db, prog, indexedOpts, step+" (indexed)")
+		checkEquivalence(t, unindexed, db, prog, scanOpts, step+" (unindexed)")
+		gi := logicalEdges(indexed.Snapshot())
+		gu := logicalEdges(unindexed.Snapshot())
+		if len(gi) != len(gu) {
+			t.Fatalf("%s: indexed live has %d edges, unindexed has %d", step, len(gi), len(gu))
+		}
+		for e := range gu {
+			if !gi[e] {
+				t.Fatalf("%s: indexed live is missing edge %v", step, e)
+			}
+		}
+		// The maintained index must keep agreeing with a fresh scan of
+		// the mutated table.
+		ix := ap.Index("pid")
+		if ix == nil {
+			t.Fatal("auto-created index on AuthorPub.pid is missing")
+		}
+		for pid := int64(1); pid <= 6; pid++ {
+			var want int
+			for _, row := range ap.Rows {
+				if row[1].Equal(relstore.IntVal(pid)) {
+					want++
+				}
+			}
+			if got := len(ix.Lookup(relstore.IntVal(pid))); got != want {
+				t.Fatalf("%s: index lookup pid=%d returns %d rows, scan finds %d", step, pid, got, want)
+			}
+		}
+	}
+}

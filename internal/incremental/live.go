@@ -128,6 +128,14 @@ func New(db *relstore.DB, prog *datalog.Program, opts extract.Options) (*Live, e
 	opts.SkipPreprocess = true
 	opts.AutoExpandFactor = 0
 	lv := &Live{db: db, prog: prog, opts: opts}
+	// Create the program's indexes before the initial build and before
+	// subscribing: indexes are maintained inside the mutation path ahead
+	// of change-log subscribers, so the delta evaluation in onChange can
+	// probe them and always see the post-change state. They persist across
+	// rebuilds — a rebuild re-runs extraction over already-indexed tables.
+	if !opts.NoIndex {
+		extract.EnsureIndexes(db, append(append([]datalog.Rule(nil), prog.Nodes...), prog.Edges...))
+	}
 	if err := lv.build(); err != nil {
 		return nil, err
 	}
@@ -182,7 +190,7 @@ func (lv *Live) build() error {
 		// are the initial support counts, and the first appearance of a
 		// pair wires its edge (matching Extract's distinct wiring).
 		for s, seg := range plan.Segments {
-			rel, err := extract.EvalConjunctive(lv.db, seg.Atoms, []string{seg.InVar, seg.OutVar}, false, lv.opts.Workers)
+			rel, err := extract.EvalConjunctive(lv.db, seg.Atoms, []string{seg.InVar, seg.OutVar}, false, lv.opts)
 			if err != nil {
 				return err
 			}
@@ -262,7 +270,7 @@ func (lv *Live) onChange(t *relstore.Table, ch relstore.Change) {
 			continue
 		}
 		for si, seg := range rs.plan.Segments {
-			pairs, err := segmentDelta(seg.Atoms, rs.tables[si], seg.InVar, seg.OutVar, t, ch.Row, insert, lv.opts.Workers)
+			pairs, err := segmentDelta(seg.Atoms, rs.tables[si], seg.InVar, seg.OutVar, t, ch.Row, insert, lv.opts)
 			if err != nil {
 				failed = true
 				break

@@ -2,6 +2,7 @@ package relstore
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"graphgen/internal/parallel"
@@ -40,17 +41,32 @@ func Scan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
 	return ScanWorkers(t, preds, cols, names, 1)
 }
 
+// validateScan checks a scan's projection and predicate columns against
+// the table schema, so malformed input is an error on every scan path
+// (serial, parallel, and index-backed) instead of a worker-pool panic.
+func validateScan(t *Table, preds []Pred, cols []int, names []string) error {
+	if len(cols) != len(names) {
+		return fmt.Errorf("relstore: scan of %s: %d cols, %d names", t.Name, len(cols), len(names))
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.Cols) {
+			return fmt.Errorf("relstore: scan of %s: column %d out of range", t.Name, c)
+		}
+	}
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(t.Cols) {
+			return fmt.Errorf("relstore: scan of %s: predicate column %d out of range", t.Name, p.Col)
+		}
+	}
+	return nil
+}
+
 // ScanWorkers is Scan with the row loop partitioned across workers;
 // per-chunk outputs concatenate in chunk order, so the result is identical
 // to the serial scan for any worker count.
 func ScanWorkers(t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
-	if len(cols) != len(names) {
-		return nil, fmt.Errorf("relstore: scan of %s: %d cols, %d names", t.Name, len(cols), len(names))
-	}
-	for _, c := range cols {
-		if c < 0 || c >= len(t.Cols) {
-			return nil, fmt.Errorf("relstore: scan of %s: column %d out of range", t.Name, c)
-		}
+	if err := validateScan(t, preds, cols, names); err != nil {
+		return nil, err
 	}
 	out := &Rel{Cols: append([]string(nil), names...)}
 	chunks := parallel.MapChunks(len(t.Rows), workers, 0, func(lo, hi int) [][]Value {
@@ -70,26 +86,18 @@ func ScanWorkers(t *Table, preds []Pred, cols []int, names []string, workers int
 		}
 		return sel
 	})
-	switch len(chunks) {
-	case 0:
-	case 1:
-		out.Rows = chunks[0]
-	default:
-		total := 0
-		for _, c := range chunks {
-			total += len(c)
-		}
-		out.Rows = make([][]Value, 0, total)
-		for _, c := range chunks {
-			out.Rows = append(out.Rows, c...)
-		}
-	}
+	out.Rows = concatChunks(chunks)
 	return out, nil
 }
 
 // HashJoin equi-joins a and b on the named columns and returns the
 // concatenation of a's columns with b's columns minus the join column
 // (which is kept once, from a). This is the classic build/probe hash join.
+// The output schema and row order are independent of the input
+// cardinalities: rows come out ordered by b's rows (all matches of b's
+// first row, then its second, ...), with matches of one b row in a's row
+// order — the build side is chosen internally and never leaks into the
+// result.
 func HashJoin(a, b *Rel, aCol, bCol string) (*Rel, error) {
 	ai, ok := a.ColIndex(aCol)
 	if !ok {
@@ -99,19 +107,6 @@ func HashJoin(a, b *Rel, aCol, bCol string) (*Rel, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: join column %q not in right relation %v", bCol, b.Cols)
 	}
-	// Build on the smaller side.
-	if len(b.Rows) < len(a.Rows) {
-		swapped, err := HashJoin(b, a, bCol, aCol)
-		if err != nil {
-			return nil, err
-		}
-		return swapped, nil
-	}
-	build := make(map[string][][]Value, len(a.Rows))
-	for _, row := range a.Rows {
-		k := hashKey(row[ai])
-		build[k] = append(build[k], row)
-	}
 	out := &Rel{Cols: append([]string(nil), a.Cols...)}
 	for i, c := range b.Cols {
 		if i == bi {
@@ -119,20 +114,52 @@ func HashJoin(a, b *Rel, aCol, bCol string) (*Rel, error) {
 		}
 		out.Cols = append(out.Cols, c)
 	}
+	joinRow := func(arow, brow []Value) []Value {
+		joined := make([]Value, 0, len(out.Cols))
+		joined = append(joined, arow...)
+		for i, v := range brow {
+			if i == bi {
+				continue
+			}
+			joined = append(joined, v)
+		}
+		return joined
+	}
+	if len(b.Rows) < len(a.Rows) {
+		// Build on b (the smaller side) but keep the canonical output
+		// order: stage each probe match under its b-row index, then
+		// concatenate in b order.
+		build := make(map[string][]int, len(b.Rows))
+		for j, brow := range b.Rows {
+			k := hashKey(brow[bi])
+			build[k] = append(build[k], j)
+		}
+		perB := make([][][]Value, len(b.Rows))
+		for _, arow := range a.Rows {
+			for _, j := range build[hashKey(arow[ai])] {
+				brow := b.Rows[j]
+				if !arow[ai].Equal(brow[bi]) {
+					continue
+				}
+				perB[j] = append(perB[j], joinRow(arow, brow))
+			}
+		}
+		for _, rows := range perB {
+			out.Rows = append(out.Rows, rows...)
+		}
+		return out, nil
+	}
+	build := make(map[string][][]Value, len(a.Rows))
+	for _, row := range a.Rows {
+		k := hashKey(row[ai])
+		build[k] = append(build[k], row)
+	}
 	for _, brow := range b.Rows {
 		for _, arow := range build[hashKey(brow[bi])] {
 			if !arow[ai].Equal(brow[bi]) {
 				continue
 			}
-			joined := make([]Value, 0, len(out.Cols))
-			joined = append(joined, arow...)
-			for i, v := range brow {
-				if i == bi {
-					continue
-				}
-				joined = append(joined, v)
-			}
-			out.Rows = append(out.Rows, joined)
+			out.Rows = append(out.Rows, joinRow(arow, brow))
 		}
 	}
 	return out, nil
@@ -186,7 +213,10 @@ func Project(r *Rel, cols []string, distinct bool) (*Rel, error) {
 
 // MultiJoin equi-joins a and b on all listed shared column names (a
 // composite key). The output has a's columns followed by b's columns minus
-// the shared ones.
+// the shared ones. An empty shared list is an error: it used to silently
+// degenerate into a full cross product (every row keyed ""), which no
+// planner path legitimately wants — callers that do mean a cross product
+// say so with CrossWorkers.
 func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
 	return MultiJoinWorkers(a, b, shared, 1)
 }
@@ -197,6 +227,9 @@ func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
 // and the per-chunk outputs are concatenated in chunk order. The result is
 // row-for-row identical to the serial join regardless of the worker count.
 func MultiJoinWorkers(a, b *Rel, shared []string, workers int) (*Rel, error) {
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("relstore: join of %v with %v has no shared columns (use CrossWorkers for an explicit cross product)", a.Cols, b.Cols)
+	}
 	ai := make([]int, len(shared))
 	bi := make([]int, len(shared))
 	bShared := make(map[int]bool, len(shared))
@@ -247,21 +280,203 @@ func MultiJoinWorkers(a, b *Rel, shared []string, workers int) (*Rel, error) {
 		}
 		return rows
 	}
-	chunks := parallel.MapChunks(len(b.Rows), workers, 0, probe)
+	out.Rows = concatChunks(parallel.MapChunks(len(b.Rows), workers, 0, probe))
+	return out, nil
+}
+
+// CrossWorkers returns the cross product of a and b: a's columns followed
+// by all of b's, one output row per (a row, b row) pair, ordered by b's
+// rows with a's order inside each (the same order the pre-error empty-
+// shared MultiJoin produced). The probe loop over b partitions across
+// workers with a chunk-ordered merge.
+func CrossWorkers(a, b *Rel, workers int) (*Rel, error) {
+	out := &Rel{Cols: append(append([]string(nil), a.Cols...), b.Cols...)}
+	chunks := parallel.MapChunks(len(b.Rows), workers, 0, func(lo, hi int) [][]Value {
+		var rows [][]Value
+		for _, brow := range b.Rows[lo:hi] {
+			for _, arow := range a.Rows {
+				joined := make([]Value, 0, len(out.Cols))
+				joined = append(joined, arow...)
+				joined = append(joined, brow...)
+				rows = append(rows, joined)
+			}
+		}
+		return rows
+	})
+	out.Rows = concatChunks(chunks)
+	return out, nil
+}
+
+// concatChunks merges per-chunk row slices in chunk order.
+func concatChunks(chunks [][][]Value) [][]Value {
 	switch len(chunks) {
 	case 0:
+		return nil
 	case 1:
-		out.Rows = chunks[0]
-	default:
-		total := 0
-		for _, c := range chunks {
-			total += len(c)
-		}
-		out.Rows = make([][]Value, 0, total)
-		for _, c := range chunks {
-			out.Rows = append(out.Rows, c...)
+		return chunks[0]
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([][]Value, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// bestIndexedPred returns the index covering one of the equality
+// predicates, preferring the most selective (largest distinct-key count),
+// plus the position of that predicate in preds; nil if no predicate
+// column is indexed.
+func bestIndexedPred(t *Table, preds []Pred) (*Index, int) {
+	var best *Index
+	bi := -1
+	for i, p := range preds {
+		if ix := t.indexes[p.Col]; ix != nil && (best == nil || ix.NKeys() > best.NKeys()) {
+			best, bi = ix, i
 		}
 	}
+	return best, bi
+}
+
+// IndexScan answers an equality-predicate scan from a hash index: it
+// walks the bucket of the most selective indexed predicate instead of the
+// table, applies the remaining predicates, and projects — returning
+// row-for-row exactly what ScanWorkers returns (buckets preserve table
+// order). At least one predicate column must be indexed.
+func IndexScan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
+	if err := validateScan(t, preds, cols, names); err != nil {
+		return nil, err
+	}
+	ix, pi := bestIndexedPred(t, preds)
+	if ix == nil {
+		return nil, fmt.Errorf("relstore: IndexScan of %s: no index on any predicate column", t.Name)
+	}
+	out := &Rel{Cols: append([]string(nil), names...)}
+rows:
+	// The bucket key encoding is injective, so bucket membership already
+	// implies equality on the driving predicate; only the others re-check.
+	for _, row := range ix.Lookup(preds[pi].Value) {
+		for i, p := range preds {
+			if i == pi {
+				continue
+			}
+			if !row[p.Col].Equal(p.Value) {
+				continue rows
+			}
+		}
+		proj := make([]Value, len(cols))
+		for i, c := range cols {
+			proj[i] = row[c]
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+// ScanAuto is the planner's scan entry point: it costs the index path
+// against the parallel full scan using the catalog's distinct counts. An
+// equality predicate over a column with d distinct values touches ~N/d
+// rows through the index versus ~N/workers per worker for the scan, so
+// the index wins once d exceeds the resolved worker count; a 2x factor
+// keeps the choice conservative about per-lookup overhead. Both paths
+// return identical relations, so the choice is purely a matter of cost.
+func ScanAuto(t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
+	if err := validateScan(t, preds, cols, names); err != nil {
+		return nil, err
+	}
+	if ix, _ := bestIndexedPred(t, preds); ix != nil && ix.NKeys() >= 2*parallel.Resolve(workers) {
+		return IndexScan(t, preds, cols, names)
+	}
+	return ScanWorkers(t, preds, cols, names, workers)
+}
+
+// IndexedJoin equi-joins cur against the selection+projection of table t
+// on cur's joinName column, probing t's persistent hash index on the
+// table column bound to joinName instead of scanning t and building a
+// throwaway hash table. preds/cols/names describe the t side exactly as
+// for Scan; names must contain joinName (bound to the indexed column).
+// The result is row-for-row identical — schema and order — to
+//
+//	rel, _ := Scan(t, preds, cols, names)
+//	MultiJoinWorkers(cur, rel, []string{joinName}, workers)
+//
+// which it achieves by gathering only the index buckets matching cur's
+// join values, sorting them back into table order, and probing in that
+// order.
+func IndexedJoin(cur *Rel, joinName string, t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
+	if err := validateScan(t, preds, cols, names); err != nil {
+		return nil, err
+	}
+	ci, ok := cur.ColIndex(joinName)
+	if !ok {
+		return nil, fmt.Errorf("relstore: join column %q not in left relation %v", joinName, cur.Cols)
+	}
+	ni := -1
+	for i, n := range names {
+		if n == joinName {
+			ni = i
+			break
+		}
+	}
+	if ni < 0 {
+		return nil, fmt.Errorf("relstore: join column %q not in projection %v", joinName, names)
+	}
+	tcol := cols[ni]
+	ix := t.indexes[tcol]
+	if ix == nil {
+		return nil, fmt.Errorf("relstore: IndexedJoin: no index on %s.%s", t.Name, t.Cols[tcol].Name)
+	}
+	build := make(map[string][][]Value, len(cur.Rows))
+	for _, row := range cur.Rows {
+		k := hashKey(row[ci])
+		build[k] = append(build[k], row)
+	}
+	// Gather the matching table rows and restore table order: sequence
+	// numbers are assigned in insertion order and deletions preserve
+	// relative order, so sorting by seq reproduces the order a scan of t
+	// would have produced (map iteration order does not leak through).
+	var entries []indexEntry
+	for k := range build {
+		entries = append(entries, ix.buckets[k]...)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := &Rel{Cols: append([]string(nil), cur.Cols...)}
+	for i, n := range names {
+		if i == ni {
+			continue
+		}
+		out.Cols = append(out.Cols, n)
+	}
+	probe := func(lo, hi int) [][]Value {
+		var rows [][]Value
+	entries:
+		for _, e := range entries[lo:hi] {
+			row := e.row
+			for _, p := range preds {
+				if !row[p.Col].Equal(p.Value) {
+					continue entries
+				}
+			}
+			proj := make([]Value, 0, len(cols)-1)
+			for i, c := range cols {
+				if i == ni {
+					continue
+				}
+				proj = append(proj, row[c])
+			}
+			for _, crow := range build[hashKey(row[tcol])] {
+				joined := make([]Value, 0, len(out.Cols))
+				joined = append(joined, crow...)
+				joined = append(joined, proj...)
+				rows = append(rows, joined)
+			}
+		}
+		return rows
+	}
+	out.Rows = concatChunks(parallel.MapChunks(len(entries), workers, 0, probe))
 	return out, nil
 }
 

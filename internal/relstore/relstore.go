@@ -1,10 +1,12 @@
 // Package relstore is GraphGen's relational substrate: an in-memory
-// relational engine with typed tables, a statistics catalog, and the
-// handful of operators graph extraction needs (scan, selection, projection,
-// equi-join, distinct). It stands in for the PostgreSQL instance the paper
-// runs against; the extraction planner only needs cardinalities and
-// per-column distinct counts (pg_stats' n_distinct), which the catalog
-// provides exactly.
+// relational engine with typed tables, a statistics catalog, secondary
+// hash indexes (index.go), and the handful of operators graph extraction
+// needs (scan, selection, projection, equi-join, distinct). It stands in
+// for the PostgreSQL instance the paper runs against; the extraction
+// planner only needs cardinalities and per-column distinct counts
+// (pg_stats' n_distinct), which the catalog provides exactly, plus the
+// index access paths PostgreSQL would answer equality predicates and
+// equi-joins with, which IndexScan/ScanAuto/IndexedJoin provide.
 //
 // The row-parallel operators (ScanWorkers, MultiJoinWorkers) partition
 // their input across the shared worker pool and concatenate per-chunk
@@ -148,6 +150,9 @@ type Table struct {
 	// stats
 	statsDirty bool
 	nDistinct  []int
+	// secondary hash indexes by column position (index.go), maintained
+	// in notify before change-log subscribers run.
+	indexes map[int]*Index
 	// change log subscribers; nil entries are cancelled slots.
 	subs []func(Change)
 }
@@ -245,7 +250,15 @@ func (t *Table) Subscribe(fn func(Change)) (cancel func()) {
 	}
 }
 
+// notify is the single-tuple mutation choke point: every index is brought
+// up to date first, then the change-log subscribers run — so a subscriber
+// (e.g. live-graph delta evaluation) that reads the table through an index
+// always observes the post-change state, the same convention subscribers
+// already rely on for the row storage itself.
 func (t *Table) notify(ch Change) {
+	for _, ix := range t.indexes {
+		ix.apply(ch)
+	}
 	for _, fn := range t.subs {
 		if fn != nil {
 			fn(ch)
@@ -292,10 +305,17 @@ func (t *Table) analyze() {
 }
 
 // NDistinct returns the number of distinct values in the named column.
+// Indexed columns answer in O(1) from the incrementally-maintained bucket
+// count (identical to the analyze result, since both count distinct
+// values of the current rows); other columns fall back to the lazily
+// recomputed catalog scan.
 func (t *Table) NDistinct(col string) (int, error) {
 	i, ok := t.ColIndex(col)
 	if !ok {
 		return 0, fmt.Errorf("relstore: %s has no column %q", t.Name, col)
+	}
+	if ix := t.indexes[i]; ix != nil {
+		return ix.NKeys(), nil
 	}
 	if t.statsDirty {
 		t.analyze()

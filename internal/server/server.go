@@ -120,6 +120,14 @@ type Server struct {
 	cache   *resultCache
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// dbIndexes caches the last observed secondary-index count for
+	// /metrics: the authoritative count must be read under dbMu (index
+	// structures are created by extractions and walked by mutations), but
+	// a monitoring endpoint must never block behind a long-running
+	// extraction, so /metrics refreshes the cache only when the lock is
+	// free and otherwise serves the stale value.
+	dbIndexes atomic.Int64
 }
 
 // New builds a Server over an extraction engine.
@@ -802,11 +810,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.sessMu.RLock()
 	n := len(s.sessions)
 	s.sessMu.RUnlock()
+	// Refresh the index count only if dbMu is immediately available: a
+	// long-running extraction or program evaluation holds it, and a
+	// read-only gauge must not stall monitoring behind that work.
+	if s.dbMu.TryLock() {
+		db := s.engine.DB()
+		indexes := 0
+		for _, name := range db.TableNames() {
+			if t, err := db.Table(name); err == nil {
+				indexes += len(t.IndexedColumns())
+			}
+		}
+		s.dbMu.Unlock()
+		s.dbIndexes.Store(int64(indexes))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s":     uptime.Seconds(),
 		"sessions":     n,
 		"requests":     routes,
 		"cache":        s.cache.stats(),
+		"db_indexes":   s.dbIndexes.Load(),
 		"datalog_eval": s.metrics.evalSnapshot(),
 	})
 }

@@ -768,3 +768,122 @@ func TestProgramSessionDerivedBudget(t *testing.T) {
 		t.Fatalf("cap raise attempt: status %d, body %v", code, body)
 	}
 }
+
+// TestIndexConsistencyOverHTTP drives a live session's source table with
+// concurrent HTTP mutations and reads, then verifies every auto-created
+// index agrees row-for-row with a fresh scan of its mutated table, and
+// that /metrics reports the indexes. Run under -race in CI, this also
+// pins down that index maintenance stays on the dbMu-serialized mutation
+// path (no concurrent map access from readers).
+func TestIndexConsistencyOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, 60, 120)
+	createSession(t, ts, "live", true)
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent readers while mutations land
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := getStatus(ts.URL + "/graphs/live/stats"); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := getStatus(ts.URL + "/graphs/live/analyze/degree"); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := getStatus(ts.URL + "/metrics"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 150; i++ {
+		row := []any{rng.Intn(60) + 1, 1_000_000 + rng.Intn(30) + 1}
+		op := "insert"
+		if rng.Intn(3) == 0 {
+			op = "delete"
+		}
+		if _, err := postJSON(ts.URL+"/db/AuthorPub/"+op, map[string]any{"row": row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	db := s.engine.DB()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	totalIndexes := 0
+	for _, name := range db.TableNames() {
+		tbl, err := db.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range tbl.IndexedColumns() {
+			totalIndexes++
+			ix := tbl.Index(col)
+			ci, _ := tbl.ColIndex(col)
+			// Every distinct value's lookup must equal the scan, and the
+			// bucket totals must account for every row.
+			seen := make(map[string]bool)
+			counted := 0
+			for _, row := range tbl.Rows {
+				key := row[ci].String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				var want [][]graphgen.Value
+				for _, r := range tbl.Rows {
+					if r[ci].Equal(row[ci]) {
+						want = append(want, r)
+					}
+				}
+				got := ix.Lookup(row[ci])
+				if len(got) != len(want) {
+					t.Fatalf("%s.%s: Lookup(%v) has %d rows, scan finds %d", name, col, row[ci], len(got), len(want))
+				}
+				for k := range want {
+					for c := range want[k] {
+						if !got[k][c].Equal(want[k][c]) {
+							t.Fatalf("%s.%s: Lookup(%v)[%d] = %v, scan order has %v", name, col, row[ci], k, got[k], want[k])
+						}
+					}
+				}
+				counted += len(got)
+			}
+			if counted != tbl.NumRows() || ix.Len() != tbl.NumRows() {
+				t.Fatalf("%s.%s: buckets cover %d rows (Len %d), table has %d", name, col, counted, ix.Len(), tbl.NumRows())
+			}
+		}
+	}
+	if totalIndexes == 0 {
+		t.Fatal("expected auto-created indexes on the live session's join columns")
+	}
+}
+
+// TestMetricsReportsIndexes asserts /metrics carries the db_indexes gauge
+// once an extraction has auto-created indexes.
+func TestMetricsReportsIndexes(t *testing.T) {
+	_, ts := newTestServer(t, 40, 60)
+	code, m := doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if n, ok := m["db_indexes"].(float64); !ok || n != 0 {
+		t.Fatalf("db_indexes before extraction = %v, want 0", m["db_indexes"])
+	}
+	createSession(t, ts, "co", false)
+	_, m = doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if n, ok := m["db_indexes"].(float64); !ok || n < 1 {
+		t.Fatalf("db_indexes after extraction = %v, want >= 1", m["db_indexes"])
+	}
+}

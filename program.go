@@ -61,6 +61,7 @@ func (e *Engine) ExtractProgram(src string, opts ...Option) (*Graph, error) {
 	ev, err := datalogeval.Evaluate(e.db, ps, datalogeval.Options{
 		Workers:          o.Workers,
 		MaxDerivedTuples: o.MaxDerivedTuples,
+		NoIndex:          o.NoIndex,
 	})
 	if err != nil {
 		return nil, err
