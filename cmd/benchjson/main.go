@@ -1,5 +1,6 @@
 // Command benchjson is the CI benchmark-tracking tool: it converts `go
-// test -bench` text output into a stable JSON artifact and compares two
+// test -bench` text output — and the LOADSTAT latency-percentile rows
+// emitted by cmd/graphload — into a stable JSON artifact and compares two
 // such artifacts for regressions.
 //
 //	go test -run '^$' -bench ... -benchtime=1x -count=3 ./... | benchjson convert -out BENCH_pr.json
@@ -9,11 +10,21 @@
 // reviewed like code):
 //
 //	{
-//	  "schema_version": 1,
+//	  "schema_version": 2,
 //	  "benchmarks": [
 //	    {"name": "...", "runs_ns_per_op": [..], "median_ns_per_op": N, "count": n}
+//	  ],
+//	  "latencies": [
+//	    {"name": "graphload/read", "ops": N, "errors": 0,
+//	     "p50_ns": ..., "p95_ns": ..., "p99_ns": ..., "ops_per_s": ...,
+//	     "runs_p99_ns": [..], "min_p99_ns": ..., "count": n}
 //	  ]
 //	}
+//
+// Schema version 2 added the "latencies" array (sourced from LOADSTAT
+// lines, one per operation class per load run); version-1 artifacts are
+// still read — they simply carry no latency rows — so a baseline written
+// before the bump keeps gating the ns/op benchmarks.
 //
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
 // suffix, so artifacts from machines with different core counts compare.
@@ -43,12 +54,40 @@ import (
 )
 
 // SchemaVersion identifies the artifact layout; bump on breaking change.
-const SchemaVersion = 1
+// Version 2 added latency-percentile rows; version-1 artifacts are still
+// accepted by loadArtifact (back-compat is tested against the committed
+// baseline).
+const SchemaVersion = 2
+
+// minReadableSchemaVersion is the oldest artifact layout this tool still
+// reads: every field of version 1 kept its meaning in version 2.
+const minReadableSchemaVersion = 1
 
 // Artifact is the committed-schema benchmark report.
 type Artifact struct {
 	SchemaVersion int         `json:"schema_version"`
 	Benchmarks    []Benchmark `json:"benchmarks"`
+	// Latencies carries the load-driver percentile rows (absent in
+	// version-1 artifacts and in artifacts converted from pure `go test
+	// -bench` output).
+	Latencies []Latency `json:"latencies,omitempty"`
+}
+
+// Latency aggregates the LOADSTAT rows of one operation class (one name).
+// Repeated runs keep the run with the smallest p99 as the representative
+// (the same one-sided-noise argument as MinNsPerOp) and record every
+// run's p99 for transparency; the regression gate compares MinP99Ns.
+type Latency struct {
+	Name      string  `json:"name"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	OpsPerSec float64 `json:"ops_per_s"`
+	RunsP99Ns []int64 `json:"runs_p99_ns"`
+	MinP99Ns  int64   `json:"min_p99_ns"`
+	Count     int     `json:"count"`
 }
 
 // Benchmark aggregates the runs of one benchmark (one name after
@@ -112,8 +151,8 @@ func runConvert(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 1
 	}
-	if len(art.Benchmarks) == 0 {
-		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+	if len(art.Benchmarks) == 0 && len(art.Latencies) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark or LOADSTAT lines found in input")
 		return 1
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
@@ -175,8 +214,8 @@ func loadArtifact(path string) (*Artifact, error) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if art.SchemaVersion != SchemaVersion {
-		return nil, fmt.Errorf("%s: schema_version %d, this tool reads %d", path, art.SchemaVersion, SchemaVersion)
+	if art.SchemaVersion < minReadableSchemaVersion || art.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, this tool reads %d..%d", path, art.SchemaVersion, minReadableSchemaVersion, SchemaVersion)
 	}
 	return &art, nil
 }
@@ -189,8 +228,19 @@ func loadArtifact(path string) (*Artifact, error) {
 // value (go emits a float for sub-ns results).
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// Convert parses `go test -bench` text output into an artifact, grouping
-// repeated runs (-count=N) of one benchmark and recording their median.
+// loadstatLine matches one latency row emitted by cmd/graphload, e.g.
+//
+//	LOADSTAT graphload/read ops=5000 errors=0 p50_ns=120000 p95_ns=300000 p99_ns=500000 ops_per_s=1234.5
+//
+// Fields are key=value pairs; unknown keys are ignored so the format can
+// grow without breaking older converters.
+var loadstatLine = regexp.MustCompile(`^LOADSTAT\s+(\S+)((?:\s+\w+=[0-9.]+)+)\s*$`)
+
+var loadstatField = regexp.MustCompile(`(\w+)=([0-9.]+)`)
+
+// Convert parses `go test -bench` text output (plus any interleaved
+// LOADSTAT rows) into an artifact, grouping repeated runs (-count=N, or
+// repeated load runs) of one name.
 func Convert(r io.Reader) (*Artifact, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
@@ -198,6 +248,8 @@ func Convert(r io.Reader) (*Artifact, error) {
 	}
 	runs := make(map[string][]int64)
 	var order []string
+	latRuns := make(map[string][]Latency)
+	var latOrder []string
 	start := 0
 	for pos := 0; pos <= len(raw); pos++ {
 		if pos != len(raw) && raw[pos] != '\n' {
@@ -205,18 +257,27 @@ func Convert(r io.Reader) (*Artifact, error) {
 		}
 		line := string(raw[start:pos])
 		start = pos + 1
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			if _, seen := runs[m[1]]; !seen {
+				order = append(order, m[1])
+			}
+			runs[m[1]] = append(runs[m[1]], int64(ns))
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		if m := loadstatLine.FindStringSubmatch(line); m != nil {
+			lat, err := parseLoadstat(m[1], m[2])
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			if _, seen := latRuns[lat.Name]; !seen {
+				latOrder = append(latOrder, lat.Name)
+			}
+			latRuns[lat.Name] = append(latRuns[lat.Name], lat)
 		}
-		if _, seen := runs[m[1]]; !seen {
-			order = append(order, m[1])
-		}
-		runs[m[1]] = append(runs[m[1]], int64(ns))
 	}
 	art := &Artifact{SchemaVersion: SchemaVersion}
 	for _, name := range order {
@@ -229,7 +290,60 @@ func Convert(r io.Reader) (*Artifact, error) {
 			Count:         len(ns),
 		})
 	}
+	for _, name := range latOrder {
+		art.Latencies = append(art.Latencies, mergeLatencyRuns(latRuns[name]))
+	}
 	return art, nil
+}
+
+// parseLoadstat decodes one LOADSTAT row's key=value fields.
+func parseLoadstat(name, fields string) (Latency, error) {
+	lat := Latency{Name: name}
+	for _, kv := range loadstatField.FindAllStringSubmatch(fields, -1) {
+		val, err := strconv.ParseFloat(kv[2], 64)
+		if err != nil {
+			return lat, fmt.Errorf("field %s: %w", kv[1], err)
+		}
+		switch kv[1] {
+		case "ops":
+			lat.Ops = int64(val)
+		case "errors":
+			lat.Errors = int64(val)
+		case "p50_ns":
+			lat.P50Ns = int64(val)
+		case "p95_ns":
+			lat.P95Ns = int64(val)
+		case "p99_ns":
+			lat.P99Ns = int64(val)
+		case "ops_per_s":
+			lat.OpsPerSec = val
+		}
+	}
+	return lat, nil
+}
+
+// mergeLatencyRuns aggregates the repeated runs of one operation class:
+// the representative row is the run with the smallest p99 (one-sided
+// noise, as with MinNsPerOp), errors are summed so a single failing run
+// cannot hide.
+func mergeLatencyRuns(all []Latency) Latency {
+	best := all[0]
+	var errs int64
+	for _, lat := range all {
+		errs += lat.Errors
+		if lat.P99Ns < best.P99Ns {
+			best = lat
+		}
+	}
+	out := best
+	out.Errors = errs
+	out.Count = len(all)
+	out.RunsP99Ns = make([]int64, len(all))
+	for i, lat := range all {
+		out.RunsP99Ns[i] = lat.P99Ns
+	}
+	out.MinP99Ns = slices.Min(out.RunsP99Ns)
+	return out
 }
 
 // median returns the middle value (lower-middle for even counts) without
@@ -287,6 +401,57 @@ func Compare(baseline, pr *Artifact, maxRegression float64) (string, bool) {
 	for _, cand := range pr.Benchmarks {
 		if _, ok := baseByName[cand.Name]; !ok {
 			out += fmt.Sprintf("NEW      %s: %d ns/op (no baseline; added on next baseline refresh)\n", cand.Name, gateValue(cand))
+		}
+	}
+	latReport, latFailed := compareLatencies(baseline.Latencies, pr.Latencies, maxRegression)
+	return out + latReport, failed || latFailed
+}
+
+// latencyGate is the metric the latency regression gate compares: the
+// smallest p99 across the recorded runs.
+func latencyGate(l Latency) int64 {
+	if l.MinP99Ns > 0 {
+		return l.MinP99Ns
+	}
+	return l.P99Ns
+}
+
+// compareLatencies applies the same missing/regression gate to the
+// latency rows, on min-of-runs p99.
+func compareLatencies(baseline, pr []Latency, maxRegression float64) (string, bool) {
+	prByName := make(map[string]Latency, len(pr))
+	for _, l := range pr {
+		prByName[l.Name] = l
+	}
+	baseByName := make(map[string]Latency, len(baseline))
+	var out string
+	failed := false
+	for _, base := range baseline {
+		baseByName[base.Name] = base
+		cand, ok := prByName[base.Name]
+		if !ok {
+			out += fmt.Sprintf("MISSING  %s: latency row in baseline but not in PR artifact (update BENCH_baseline.json if renamed)\n", base.Name)
+			failed = true
+			continue
+		}
+		if latencyGate(base) <= 0 {
+			out += fmt.Sprintf("SKIP     %s: baseline p99 is %d ns\n", base.Name, latencyGate(base))
+			continue
+		}
+		ratio := float64(latencyGate(cand)) / float64(latencyGate(base))
+		verdict := "OK      "
+		if ratio > 1+maxRegression {
+			verdict = "REGRESS "
+			failed = true
+		} else if ratio < 1-maxRegression {
+			verdict = "IMPROVE "
+		}
+		out += fmt.Sprintf("%s %s: p99 %d -> %d ns (%.2fx, limit %.2fx)\n",
+			verdict, base.Name, latencyGate(base), latencyGate(cand), ratio, 1+maxRegression)
+	}
+	for _, cand := range pr {
+		if _, ok := baseByName[cand.Name]; !ok {
+			out += fmt.Sprintf("NEW      %s: p99 %d ns (no baseline; added on next baseline refresh)\n", cand.Name, latencyGate(cand))
 		}
 	}
 	return out, failed

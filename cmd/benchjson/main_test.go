@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -150,6 +151,160 @@ func TestCompare(t *testing.T) {
 				t.Fatalf("report missing %q:\n%s", tc.wantMark, report)
 			}
 		})
+	}
+}
+
+const sampleLoadOutput = `graphload: 8 clients for 5s against http://127.0.0.1:1234 (in-process)
+graphload: read    ops=5000 errors=0 p50=120µs p95=300µs p99=500µs (1000.0 ops/s)
+LOADSTAT graphload/read ops=5000 errors=0 p50_ns=120000 p95_ns=300000 p99_ns=500000 ops_per_s=1000.0
+LOADSTAT graphload/mutate ops=2500 errors=0 p50_ns=150000 p95_ns=400000 p99_ns=700000 ops_per_s=500.0
+LOADSTAT graphload/read ops=5100 errors=2 p50_ns=110000 p95_ns=290000 p99_ns=480000 ops_per_s=1020.0
+BenchmarkExtract-8	1	1000000 ns/op
+PASS
+`
+
+// TestConvertLoadstat: LOADSTAT rows interleave with benchmark lines;
+// repeated runs of one class merge on min-p99 with summed errors.
+func TestConvertLoadstat(t *testing.T) {
+	art, err := Convert(strings.NewReader(sampleLoadOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 1 || art.Benchmarks[0].Name != "BenchmarkExtract" {
+		t.Fatalf("benchmark lines lost among LOADSTAT rows: %+v", art.Benchmarks)
+	}
+	if len(art.Latencies) != 2 {
+		t.Fatalf("got %d latency rows, want 2: %+v", len(art.Latencies), art.Latencies)
+	}
+	read := art.Latencies[0]
+	if read.Name != "graphload/read" {
+		t.Fatalf("first latency row %q, want graphload/read (input order)", read.Name)
+	}
+	// The second read run had the smaller p99, so it is the representative;
+	// errors sum across runs.
+	if read.P99Ns != 480000 || read.MinP99Ns != 480000 || read.Ops != 5100 {
+		t.Fatalf("representative run is not the min-p99 run: %+v", read)
+	}
+	if read.Errors != 2 || read.Count != 2 || len(read.RunsP99Ns) != 2 {
+		t.Fatalf("run aggregation wrong: %+v", read)
+	}
+	mut := art.Latencies[1]
+	if mut.Name != "graphload/mutate" || mut.P50Ns != 150000 || mut.OpsPerSec != 500.0 {
+		t.Fatalf("mutate row: %+v", mut)
+	}
+	// The human-readable "graphload: read ops=..." line must NOT parse as
+	// a stat row.
+	if read.Count != 2 {
+		t.Fatalf("summary line leaked into stats: %+v", read)
+	}
+}
+
+func latArt(pairs ...any) *Artifact {
+	a := &Artifact{SchemaVersion: SchemaVersion}
+	for i := 0; i < len(pairs); i += 2 {
+		ns := int64(pairs[i+1].(int))
+		a.Latencies = append(a.Latencies, Latency{
+			Name: pairs[i].(string), P99Ns: ns, MinP99Ns: ns, RunsP99Ns: []int64{ns}, Count: 1,
+		})
+	}
+	return a
+}
+
+func TestCompareLatencies(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseline *Artifact
+		pr       *Artifact
+		wantFail bool
+		wantMark string
+	}{
+		{"within threshold", latArt("graphload/read", 1000), latArt("graphload/read", 1200), false, "OK"},
+		{"p99 regression", latArt("graphload/read", 1000), latArt("graphload/read", 1400), true, "REGRESS"},
+		{"improvement", latArt("graphload/read", 1000), latArt("graphload/read", 500), false, "IMPROVE"},
+		{"missing row fails", latArt("graphload/read", 1000), latArt(), true, "MISSING"},
+		{"new row reported", latArt(), latArt("graphload/read", 1000), false, "NEW"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			report, failed := Compare(tc.baseline, tc.pr, 0.30)
+			if failed != tc.wantFail {
+				t.Fatalf("failed=%v want %v\n%s", failed, tc.wantFail, report)
+			}
+			if !strings.Contains(report, tc.wantMark) {
+				t.Fatalf("report missing %q:\n%s", tc.wantMark, report)
+			}
+		})
+	}
+}
+
+// TestCompareLatencyGatesOnMinP99: like the ns/op gate, one noisy run
+// must not fail the latency gate when the best run is clean.
+func TestCompareLatencyGatesOnMinP99(t *testing.T) {
+	base := latArt("graphload/read", 1000)
+	pr := &Artifact{SchemaVersion: SchemaVersion, Latencies: []Latency{{
+		Name: "graphload/read", P99Ns: 1000, RunsP99Ns: []int64{1000, 3000}, MinP99Ns: 1000, Count: 2,
+	}}}
+	report, failed := Compare(base, pr, 0.30)
+	if failed {
+		t.Fatalf("min-of-runs p99 within threshold failed the gate:\n%s", report)
+	}
+}
+
+// TestLoadArtifactSchemaV1BackCompat pins that an artifact written by
+// the schema-1 tool (no latencies key at all) still loads and gates its
+// benchmarks.
+func TestLoadArtifactSchemaV1BackCompat(t *testing.T) {
+	v1 := `{
+  "schema_version": 1,
+  "benchmarks": [
+    {"name": "BenchmarkOld", "runs_ns_per_op": [100], "min_ns_per_op": 100, "median_ns_per_op": 100, "count": 1}
+  ]
+}`
+	path := t.TempDir() + "/v1.json"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	art, err := loadArtifact(path)
+	if err != nil {
+		t.Fatalf("schema-1 artifact rejected: %v", err)
+	}
+	if len(art.Benchmarks) != 1 || art.Latencies != nil {
+		t.Fatalf("unexpected shape: %+v", art)
+	}
+	// And it compares cleanly against a v2 candidate with extra latency
+	// rows (NEW, not a failure).
+	report, failed := Compare(art, &Artifact{
+		SchemaVersion: SchemaVersion,
+		Benchmarks:    art.Benchmarks,
+		Latencies:     []Latency{{Name: "graphload/read", P99Ns: 10, MinP99Ns: 10}},
+	}, 0.30)
+	if failed {
+		t.Fatalf("v1 baseline vs v2 candidate failed:\n%s", report)
+	}
+
+	future := strings.Replace(v1, `"schema_version": 1`, `"schema_version": 99`, 1)
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadArtifact(path); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+// TestCommittedBaselineLoads: the checked-in baseline must stay readable
+// by the tool at head — this is the back-compat contract CI relies on.
+func TestCommittedBaselineLoads(t *testing.T) {
+	art, err := loadArtifact("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) == 0 {
+		t.Fatal("committed baseline has no benchmarks")
+	}
+	for _, l := range art.Latencies {
+		if l.Errors != 0 {
+			t.Fatalf("committed baseline records op errors in %s: %+v", l.Name, l)
+		}
 	}
 }
 

@@ -26,12 +26,13 @@ import (
 
 	"graphgen"
 	"graphgen/internal/datagen"
+	"graphgen/internal/workload"
 )
 
 // Valid flag-value sets, shared by dispatch and error messages.
 var (
 	validReps     = []string{"cdup", "exp", "dedup1", "dedup2", "bitmap"}
-	validAnalyses = []string{"degree", "bfs", "pagerank", "components", "triangles"}
+	validAnalyses = []string{"degree", "bfs", "pagerank", "components", "triangles", "sssp", "closeness"}
 )
 
 // usageError marks a flag-validation failure: run exits 2 instead of 1.
@@ -299,6 +300,21 @@ func runAnalysis(g *graphgen.Graph, analyze string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "connected components: %d\n", n)
 	case "triangles":
 		fmt.Fprintf(stdout, "triangles: %d\n", g.CountTriangles())
+	case "sssp":
+		snap := workload.Snap(g)
+		res := snap.MultiSourceBFS(snap.SampleSources(4))
+		fmt.Fprintf(stdout, "sssp from %d sources: reached %d vertices (%d unreached), max depth %d, sum of distances %d\n",
+			len(res.Sources), res.Reached, res.Unreached, res.MaxDepth, res.SumDist)
+	case "closeness":
+		snap := workload.Snap(g)
+		top := workload.TopCloseness(snap.Closeness(snap.SampleSources(64), 0), 1)
+		if len(top) == 0 {
+			fmt.Fprintln(stdout, "closeness: empty graph")
+			return nil
+		}
+		name, _ := g.PropertyOf(top[0].ID, "Name")
+		fmt.Fprintf(stdout, "closeness: top vertex %d (%s) with score %.6f (reached %d)\n",
+			top[0].ID, name, top[0].Closeness, top[0].Reached)
 	default:
 		return usagef("unknown -analyze %q (valid: %s)", analyze, strings.Join(validAnalyses, ", "))
 	}

@@ -75,6 +75,18 @@ func TestRunDispatch(t *testing.T) {
 			wantStdout: "connected components:",
 		},
 		{
+			name:       "sssp analysis on the social network",
+			args:       []string{"-dataset", "snb", "-analyze", "sssp"},
+			wantCode:   0,
+			wantStdout: "sssp from 4 sources: reached",
+		},
+		{
+			name:       "closeness analysis on the social network",
+			args:       []string{"-dataset", "snb", "-analyze", "closeness"},
+			wantCode:   0,
+			wantStdout: "closeness: top vertex",
+		},
+		{
 			name:       "representation conversion dispatch",
 			args:       []string{"-dataset", "univ", "-rep", "exp"},
 			wantCode:   0,

@@ -54,4 +54,21 @@ curl -sf "$BASE/metrics" | grep -o '"programs": [0-9]*'
 echo "== clean up =="
 curl -sf -X DELETE "$BASE/graphs/coauth"; echo
 curl -sf -X DELETE "$BASE/graphs/reach"; echo
+
+echo "== sustained load against a social-network daemon (cmd/graphload) =="
+# A second daemon serving the LDBC-style SNB dataset; graphload creates
+# a live Knows session on it and replays a mixed read/mutate/analyze
+# stream, reporting p50/p95/p99 per op class. Exit 0 means zero op
+# errors.
+SNB_ADDR="127.0.0.1:18081"
+/tmp/graphgend -addr "$SNB_ADDR" -dataset snb >/dev/null &
+SNB_DAEMON=$!
+trap 'kill $DAEMON $SNB_DAEMON 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  curl -sf "http://$SNB_ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+go run ./cmd/graphload -addr "$SNB_ADDR" -duration 3s -clients 4 \
+  -mix read=70,mutate=20,analyze=10
+
 echo "quickstart OK"

@@ -9,7 +9,7 @@ import (
 
 // BuiltinDatasets names the built-in generated databases, in the order
 // they are documented, for use in flag-validation messages.
-var BuiltinDatasets = []string{"dblp", "imdb", "tpch", "univ"}
+var BuiltinDatasets = []string{"dblp", "imdb", "tpch", "univ", "snb"}
 
 // ByName returns a seeded built-in dataset at its canonical CI-scale
 // cardinalities together with the dataset's canonical extraction query.
@@ -24,6 +24,10 @@ func ByName(name string, seed int64) (*relstore.DB, string, error) {
 		return TPCHLike(seed, 250, 1500, 30, 3), QuerySamePart, nil
 	case "univ":
 		return UnivLike(seed, 600, 20, 40, 4), QuerySameCourse, nil
+	case "snb":
+		// CI-scale social network (SF 0.1 ≈ 1k persons); cmd/graphload
+		// regenerates at any scale factor for load runs.
+		return SNB(SNBConfig{Seed: seed, ScaleFactor: 0.1}), QueryKnows, nil
 	default:
 		return nil, "", fmt.Errorf("unknown dataset %q (valid: %s)", name, strings.Join(BuiltinDatasets, ", "))
 	}

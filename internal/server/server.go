@@ -11,7 +11,7 @@
 //	DELETE /graphs/{name}                   drop a session
 //	GET    /graphs/{name}/stats             size and maintenance counters
 //	GET    /graphs/{name}/neighbors?v=ID    logical out-neighbors
-//	GET    /graphs/{name}/analyze/{algo}    degree|pagerank|components|bfs|triangles
+//	GET    /graphs/{name}/analyze/{algo}    degree|pagerank|components|bfs|triangles|sssp|closeness
 //	POST   /db/{table}/insert               append rows (live graphs follow)
 //	POST   /db/{table}/delete               remove rows (live graphs follow)
 //	GET    /healthz                         liveness
@@ -49,13 +49,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphgen"
+	"graphgen/internal/workload"
 )
 
 // Options configures a Server.
@@ -542,12 +545,15 @@ type analysisParams struct {
 	k         int
 	src       int64
 	srcAuto   bool
+	srcs      []int64
+	sources   int
+	samples   int
 }
 
-var errUnknownAnalysis = errors.New(`unknown analysis (valid: bfs, components, degree, pagerank, triangles)`)
+var errUnknownAnalysis = errors.New(`unknown analysis (valid: bfs, closeness, components, degree, pagerank, sssp, triangles)`)
 
 func parseParams(algo string, q map[string][]string) (analysisParams, error) {
-	p := analysisParams{iters: 20, damping: 0.85, k: 10, srcAuto: true}
+	p := analysisParams{iters: 20, damping: 0.85, k: 10, srcAuto: true, sources: 4, samples: 64}
 	get := func(name string) (string, bool) {
 		vs := q[name]
 		if len(vs) == 0 || vs[0] == "" {
@@ -577,6 +583,29 @@ func parseParams(algo string, q map[string][]string) (analysisParams, error) {
 		}
 		p.srcAuto = false
 	}
+	if v, ok := get("srcs"); ok {
+		for _, part := range strings.Split(v, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("srcs must be comma-separated integer vertex IDs, got %q", v)
+			}
+			p.srcs = append(p.srcs, id)
+		}
+		// Canonicalize: sorted, deduplicated — BFS from a multiset of
+		// sources equals BFS from the set.
+		sort.Slice(p.srcs, func(i, j int) bool { return p.srcs[i] < p.srcs[j] })
+		p.srcs = slices.Compact(p.srcs)
+	}
+	if v, ok := get("sources"); ok {
+		if p.sources, err = strconv.Atoi(v); err != nil || p.sources < 1 || p.sources > 10000 {
+			return p, fmt.Errorf("sources must be an integer in [1,10000], got %q", v)
+		}
+	}
+	if v, ok := get("samples"); ok {
+		if p.samples, err = strconv.Atoi(v); err != nil || p.samples < 1 || p.samples > 10000 {
+			return p, fmt.Errorf("samples must be an integer in [1,10000], got %q", v)
+		}
+	}
 	switch algo {
 	case "degree":
 		p.canonical = fmt.Sprintf("k=%d", p.k)
@@ -590,6 +619,18 @@ func parseParams(algo string, q map[string][]string) (analysisParams, error) {
 		} else {
 			p.canonical = fmt.Sprintf("src=%d", p.src)
 		}
+	case "sssp":
+		if len(p.srcs) > 0 {
+			parts := make([]string, len(p.srcs))
+			for i, id := range p.srcs {
+				parts[i] = strconv.FormatInt(id, 10)
+			}
+			p.canonical = "srcs=" + strings.Join(parts, ",")
+		} else {
+			p.canonical = fmt.Sprintf("sources=%d", p.sources)
+		}
+	case "closeness":
+		p.canonical = fmt.Sprintf("k=%d&samples=%d", p.k, p.samples)
 	default:
 		return p, errUnknownAnalysis
 	}
@@ -680,6 +721,53 @@ func computeAnalysis(g *graphgen.Graph, algo string, p analysisParams) (any, err
 		return map[string]any{"src": src, "visited": visited, "max_depth": depth}, nil
 	case "triangles":
 		return map[string]any{"triangles": g.CountTriangles()}, nil
+	case "sssp":
+		// Multi-source shortest paths (SIGMOD 2014 contest family): hop
+		// distance to the nearest source. Explicit ?srcs=1,2,3 or a
+		// deterministic evenly-spaced ?sources=k sample.
+		snap := workload.Snap(g)
+		srcs := p.srcs
+		if len(srcs) == 0 {
+			srcs = snap.SampleSources(p.sources)
+		}
+		res := snap.MultiSourceBFS(srcs)
+		avg := 0.0
+		if res.Reached > 0 {
+			avg = float64(res.SumDist) / float64(res.Reached)
+		}
+		sources := res.Sources
+		if sources == nil {
+			sources = []int64{}
+		}
+		return map[string]any{
+			"sources":   sources,
+			"reached":   res.Reached,
+			"unreached": res.Unreached,
+			"max_depth": res.MaxDepth,
+			"sum_dist":  res.SumDist,
+			"avg_dist":  avg,
+		}, nil
+	case "closeness":
+		// Sampled exact closeness centrality: one BFS per pivot, contest
+		// scoring (reachability-corrected), top-k by score.
+		snap := workload.Snap(g)
+		pivots := snap.SampleSources(p.samples)
+		scores := workload.TopCloseness(snap.Closeness(pivots, 0), p.k)
+		type entry struct {
+			ID        int64   `json:"id"`
+			Closeness float64 `json:"closeness"`
+			Reached   int     `json:"reached"`
+			SumDist   int64   `json:"sum_dist"`
+			Name      string  `json:"name,omitempty"`
+		}
+		top := make([]entry, len(scores))
+		for i, s := range scores {
+			top[i] = entry{ID: s.ID, Closeness: s.Closeness, Reached: s.Reached, SumDist: s.SumDist}
+			if name, ok := g.PropertyOf(s.ID, "Name"); ok {
+				top[i].Name = name
+			}
+		}
+		return map[string]any{"samples": len(pivots), "vertices": snap.NumVertices(), "top": top}, nil
 	default:
 		return nil, errUnknownAnalysis
 	}

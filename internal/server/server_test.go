@@ -887,3 +887,178 @@ func TestMetricsReportsIndexes(t *testing.T) {
 		t.Fatalf("db_indexes after extraction = %v, want >= 1", m["db_indexes"])
 	}
 }
+
+// newSNBServer builds a server over an SNB social network so the
+// contest-family analyses run against realistic degree distributions.
+func newSNBServer(t testing.TB, sf float64) *httptest.Server {
+	t.Helper()
+	db := datagen.SNB(datagen.SNBConfig{Seed: 4, ScaleFactor: sf})
+	s := New(graphgen.NewEngine(db), Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts
+}
+
+func createSNBSession(t testing.TB, ts *httptest.Server, name string, live bool) {
+	t.Helper()
+	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": name, "query": datagen.QueryKnows, "live": live,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create %s: status %d, body %v", name, code, body)
+	}
+}
+
+// TestSSSPAndClosenessStaticLiveAgree: the contest analyses must return
+// identical results whether the session is a static extraction or a live
+// incrementally-maintained graph over the same tables — the HTTP-level
+// version of the operator-equivalence contract.
+func TestSSSPAndClosenessStaticLiveAgree(t *testing.T) {
+	ts := newSNBServer(t, 0.05)
+	createSNBSession(t, ts, "stat", false)
+	createSNBSession(t, ts, "live", true)
+
+	for _, query := range []string{
+		"sssp?sources=4",
+		"sssp?srcs=1,2,3",
+		"closeness?samples=16&k=5",
+	} {
+		_, statRes := doJSON(t, "GET", ts.URL+"/graphs/stat/analyze/"+query, nil)
+		_, liveRes := doJSON(t, "GET", ts.URL+"/graphs/live/analyze/"+query, nil)
+		sr, lr := statRes["result"], liveRes["result"]
+		if sr == nil || lr == nil {
+			t.Fatalf("%s: missing result payloads: static %v live %v", query, statRes, liveRes)
+		}
+		sb, _ := json.Marshal(sr)
+		lb, _ := json.Marshal(lr)
+		if string(sb) != string(lb) {
+			t.Fatalf("%s: static and live sessions disagree\nstatic: %s\nlive:   %s", query, sb, lb)
+		}
+	}
+}
+
+// TestSSSPEndpoint covers the parameter surface: explicit sources echo
+// back sorted and deduplicated, unknown IDs are dropped, and the two
+// spellings canonicalize into distinct cache keys.
+func TestSSSPEndpoint(t *testing.T) {
+	ts := newSNBServer(t, 0.02)
+	createSNBSession(t, ts, "g", false)
+
+	code, res := doJSON(t, "GET", ts.URL+"/graphs/g/analyze/sssp?srcs=3,1,2,2", nil)
+	if code != http.StatusOK {
+		t.Fatalf("sssp: status %d: %v", code, res)
+	}
+	result := res["result"].(map[string]any)
+	srcs := result["sources"].([]any)
+	if len(srcs) != 3 || srcs[0].(float64) != 1 || srcs[2].(float64) != 3 {
+		t.Fatalf("echoed sources not sorted+deduped: %v", srcs)
+	}
+	if res["params"] != "srcs=1,2,3" {
+		t.Fatalf("canonical params = %v", res["params"])
+	}
+	if result["reached"].(float64) <= 0 {
+		t.Fatalf("sssp reached nothing: %v", result)
+	}
+	// The permuted spelling hits the cache entry of the canonical one.
+	code, res = doJSON(t, "GET", ts.URL+"/graphs/g/analyze/sssp?srcs=2,3,1", nil)
+	if code != http.StatusOK || res["cached"] != true {
+		t.Fatalf("permuted srcs missed the cache: %v", res)
+	}
+
+	// A source absent from the graph is dropped, not an error.
+	code, res = doJSON(t, "GET", ts.URL+"/graphs/g/analyze/sssp?srcs=999999999", nil)
+	if code != http.StatusOK {
+		t.Fatalf("sssp with unknown src: status %d: %v", code, res)
+	}
+	result = res["result"].(map[string]any)
+	if len(result["sources"].([]any)) != 0 || result["reached"].(float64) != 0 {
+		t.Fatalf("unknown source not dropped: %v", result)
+	}
+
+	for _, bad := range []string{"srcs=a,b", "sources=0", "sources=abc"} {
+		code, res = doJSON(t, "GET", ts.URL+"/graphs/g/analyze/sssp?"+bad, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("sssp?%s: status %d, want 400: %v", bad, code, res)
+		}
+	}
+}
+
+// TestClosenessEndpoint checks the ranking shape and parameter
+// validation of the sampled-closeness analysis.
+func TestClosenessEndpoint(t *testing.T) {
+	ts := newSNBServer(t, 0.02)
+	createSNBSession(t, ts, "g", false)
+
+	code, res := doJSON(t, "GET", ts.URL+"/graphs/g/analyze/closeness?samples=12&k=3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("closeness: status %d: %v", code, res)
+	}
+	result := res["result"].(map[string]any)
+	if result["samples"].(float64) != 12 {
+		t.Fatalf("samples = %v, want 12", result["samples"])
+	}
+	top := result["top"].([]any)
+	if len(top) == 0 || len(top) > 3 {
+		t.Fatalf("top has %d entries, want 1..3", len(top))
+	}
+	prev := 1e18
+	for _, e := range top {
+		entry := e.(map[string]any)
+		c := entry["closeness"].(float64)
+		if c > prev {
+			t.Fatalf("top not sorted by closeness desc: %v", top)
+		}
+		prev = c
+		if entry["name"] == nil || entry["name"] == "" {
+			t.Fatalf("top entry missing the Name property: %v", entry)
+		}
+	}
+
+	code, res = doJSON(t, "GET", ts.URL+"/graphs/g/analyze/closeness?samples=-1", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("closeness?samples=-1: status %d, want 400: %v", code, res)
+	}
+}
+
+// TestSSSPCacheInvalidatedByMutation: inserting a Knows edge advances
+// the live snapshot version, so a cached sssp result must not be served
+// stale.
+func TestSSSPCacheInvalidatedByMutation(t *testing.T) {
+	ts := newSNBServer(t, 0.02)
+	createSNBSession(t, ts, "live", true)
+
+	code, res := doJSON(t, "GET", ts.URL+"/graphs/live/analyze/sssp?srcs=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("sssp: status %d: %v", code, res)
+	}
+	before := res["result"].(map[string]any)["reached"].(float64)
+
+	// Attach a brand-new two-person chain to person 1. Nodes derive from
+	// Person, so the new IDs need Person rows before Knows edges.
+	for _, row := range [][]any{
+		{777000001, "pat", "country-0"},
+		{777000002, "kim", "country-0"},
+	} {
+		code, mres := doJSON(t, "POST", ts.URL+"/db/Person/insert", map[string]any{"row": row})
+		if code != http.StatusOK {
+			t.Fatalf("insert person %v: status %d: %v", row, code, mres)
+		}
+	}
+	for _, row := range [][]int64{{1, 777000001}, {777000001, 1}, {777000001, 777000002}, {777000002, 777000001}} {
+		code, mres := doJSON(t, "POST", ts.URL+"/db/Knows/insert", map[string]any{"row": row})
+		if code != http.StatusOK {
+			t.Fatalf("insert %v: status %d: %v", row, code, mres)
+		}
+	}
+	code, res = doJSON(t, "GET", ts.URL+"/graphs/live/analyze/sssp?srcs=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("sssp after insert: status %d: %v", code, res)
+	}
+	if res["cached"] == true {
+		t.Fatal("mutation did not invalidate the cached sssp result")
+	}
+	after := res["result"].(map[string]any)["reached"].(float64)
+	if after != before+2 {
+		t.Fatalf("reached %v -> %v after attaching 2 vertices, want +2", before, after)
+	}
+}
