@@ -1,0 +1,78 @@
+// Command graphlint machine-checks GraphGen's repo-specific invariants —
+// the contracts previously enforced only by review and randomized tests:
+//
+//	keyencode     composite keys over relstore.Value data use Value.AppendKey
+//	lockorder     internal/server: dbMu before sessMu; table access under dbMu
+//	notifyorder   relstore mutators route through notify; indexes before subscribers
+//	determinism   deterministic packages shun wall clocks, global rand, map-order appends
+//	lockedreturn  returns must not leak a held mutex
+//
+// Usage:
+//
+//	graphlint [-list] [package patterns]
+//
+// Patterns default to ./... rooted at the current directory. Findings are
+// suppressed only by an inline "//lint:ignore <analyzer> <justification>"
+// on the same or preceding line; malformed or stale directives are
+// themselves findings. Exit status: 0 clean, 1 findings or analysis
+// failure, 2 usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"graphgen/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("graphlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: graphlint [-list] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-14s %s\n", analyzers.LintName, "lint:ignore directives carry a justification and suppress something")
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "graphlint: %v\n", err)
+		return 1
+	}
+	diags, err := analyzers.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "graphlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "graphlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// inDir runs fn with the working directory switched to dir.
+func inDir(t *testing.T, dir string, fn func()) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	fn()
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const smokeGoMod = "module graphlintsmoke\n\ngo 1.22\n"
+
+// TestSeededViolations: a module seeded with a locked return and a bare
+// lint:ignore directive exits nonzero and names both analyzers.
+func TestSeededViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": smokeGoMod,
+		"bad.go": `package smoke
+
+import "sync"
+
+var mu sync.Mutex
+
+func leak(fail bool) int {
+	mu.Lock()
+	if fail {
+		return 0
+	}
+	mu.Unlock()
+	return 1
+}
+
+func stale() {
+	//lint:ignore lockedreturn
+	mu.Lock()
+	mu.Unlock()
+}
+`,
+	})
+	inDir(t, dir, func() {
+		var out, errb bytes.Buffer
+		code := run([]string{"./..."}, &out, &errb)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+		}
+		for _, sub := range []string{"lockedreturn: return leaks mu.Lock", "lint: lint:ignore needs an analyzer list"} {
+			if !strings.Contains(out.String(), sub) {
+				t.Errorf("output missing %q:\n%s", sub, out.String())
+			}
+		}
+	})
+}
+
+// TestCleanModule: nothing to report, exit 0, no output.
+func TestCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": smokeGoMod,
+		"ok.go": `package smoke
+
+import "sync"
+
+var mu sync.Mutex
+
+func fine() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+`,
+	})
+	inDir(t, dir, func() {
+		var out, errb bytes.Buffer
+		if code := run([]string{"./..."}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("unexpected output: %s", out.String())
+		}
+	})
+}
+
+// TestRepoClean gates the repository itself: the full graphlint suite over
+// every module package must be silent. This is the tree-wide invariant
+// check the linter exists for, enforced from go test.
+func TestRepoClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"graphgen/..."}, &out, &errb); code != 0 {
+		t.Fatalf("graphlint is not clean over the repo (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestListFlag prints the suite and exits 0.
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"keyencode", "lockorder", "notifyorder", "determinism", "lockedreturn", "lint"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUsageError: flag errors are usage errors, exit 2.
+func TestUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,107 @@
+package analyzers_test
+
+import (
+	"strings"
+	"testing"
+
+	"graphgen/internal/analyzers"
+	"graphgen/internal/analyzers/lintest"
+)
+
+// The fixture suites: each analyzer gets a flagged fixture (every seeded
+// violation must be reported, asserted by // want comments) and a clean
+// fixture (zero findings). Scoped analyzers are checked under the import
+// path their rules are bound to.
+
+func TestKeyencode(t *testing.T) {
+	lintest.Run(t, analyzers.KeyencodeAnalyzer, "graphgen/internal/fixture", "testdata/src/keyencode/flagged")
+	lintest.Run(t, analyzers.KeyencodeAnalyzer, "graphgen/internal/fixture", "testdata/src/keyencode/clean")
+}
+
+func TestLockOrder(t *testing.T) {
+	lintest.Run(t, analyzers.LockOrderAnalyzer, "graphgen/internal/server", "testdata/src/lockorder/flagged")
+	lintest.Run(t, analyzers.LockOrderAnalyzer, "graphgen/internal/server", "testdata/src/lockorder/clean")
+}
+
+// TestLockOrderScoped: outside internal/server the analyzer stays silent,
+// even on code full of inversions.
+func TestLockOrderScoped(t *testing.T) {
+	if diags := lintest.Diagnostics(t, analyzers.LockOrderAnalyzer, "graphgen/internal/fixture", "testdata/src/lockorder/flagged"); len(diags) != 0 {
+		t.Fatalf("lockorder fired outside internal/server: %v", diags)
+	}
+}
+
+func TestNotifyOrder(t *testing.T) {
+	lintest.Run(t, analyzers.NotifyOrderAnalyzer, "graphgen/internal/relstore", "testdata/src/notifyorder/flagged")
+	lintest.Run(t, analyzers.NotifyOrderAnalyzer, "graphgen/internal/relstore", "testdata/src/notifyorder/clean")
+	lintest.Run(t, analyzers.NotifyOrderAnalyzer, "graphgen/internal/fixture", "testdata/src/notifyorder/crosspkg")
+}
+
+func TestDeterminism(t *testing.T) {
+	lintest.Run(t, analyzers.DeterminismAnalyzer, "graphgen/internal/datagen", "testdata/src/determinism/flagged")
+	lintest.Run(t, analyzers.DeterminismAnalyzer, "graphgen/internal/datagen", "testdata/src/determinism/clean")
+}
+
+// TestDeterminismScoped: the same violations are fine in a package outside
+// the deterministic set.
+func TestDeterminismScoped(t *testing.T) {
+	if diags := lintest.Diagnostics(t, analyzers.DeterminismAnalyzer, "graphgen/internal/fixture", "testdata/src/determinism/flagged"); len(diags) != 0 {
+		t.Fatalf("determinism fired outside the deterministic packages: %v", diags)
+	}
+}
+
+func TestLockedReturn(t *testing.T) {
+	lintest.Run(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/lockedreturn/flagged")
+	lintest.Run(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/lockedreturn/clean")
+}
+
+// TestSuppression drives the lint:ignore policy end to end: a justified
+// directive silences its finding; stale, unknown-name, and bare directives
+// are diagnostics themselves; a rejected directive suppresses nothing.
+func TestSuppression(t *testing.T) {
+	diags := lintest.Diagnostics(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/suppress")
+	wantSubstrings := []string{
+		`lint:ignore for lockedreturn suppresses nothing`,
+		`lint:ignore names unknown analyzer "lockedretrun"`,
+		`lint:ignore needs an analyzer list and a justification`,
+		`return leaks h.mu.Lock`,
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstrings), diags)
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.String(), sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q; got %v", sub, diags)
+		}
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "handed to the caller") || strings.Contains(d.Message, "return leaks") && d.Pos.Line < 20 {
+			t.Errorf("justified suppression did not hold: %v", d)
+		}
+	}
+}
+
+// TestAllStable pins the suite composition: five analyzers, stable order,
+// unique names — the names are part of the lint:ignore contract.
+func TestAllStable(t *testing.T) {
+	want := []string{"determinism", "keyencode", "lockedreturn", "lockorder", "notifyorder"}
+	all := analyzers.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir over the given
+// patterns and returns the decoded package stream. -export compiles each
+// package (build-cached) and records the path of its export data, which
+// is how the loader resolves imports without golang.org/x/tools: target
+// packages are re-parsed from source for their ASTs, everything they
+// import is loaded from compiler export data.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that resolves import paths
+// through the export files recorded by goList.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok || e == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+}
+
+// LoadPackages loads, parses, and type-checks the module packages matched
+// by patterns (go list syntax, e.g. "./..."), rooted at dir. Test files
+// are not analyzed, mirroring go vet's default package set — tests
+// construct adversarial inputs (separator-laden keys, deliberate
+// collisions) that the invariants are about surviving, not avoiding.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		exports[p.ImportPath] = p.Export
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckFiles parses and type-checks the given source files as one package
+// under the import path asPath, resolving imports through the module
+// rooted at moduleDir. The test harness (lintest) uses this to load
+// testdata fixtures as if they were the package an analyzer is scoped to
+// — e.g. a fixture checked as "graphgen/internal/server" exercises the
+// lockorder rules without living in the real server package.
+func CheckFiles(moduleDir, asPath string, files []string) (*Package, error) {
+	fset := token.NewFileSet()
+	parsed, err := parseAll(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve exactly the fixture's imports (plus their deps) to export
+	// data. "unsafe" is synthesized by the importer itself.
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range parsed {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return typeCheckParsed(fset, exportImporter(fset, exports), asPath, parsed)
+}
+
+func parseAll(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	parsed := make([]*ast.File, len(files))
+	for i, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed[i] = f
+	}
+	return parsed, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, files []string) (*Package, error) {
+	parsed, err := parseAll(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheckParsed(fset, imp, path, parsed)
+}
+
+func typeCheckParsed(fset *token.FileSet, imp types.Importer, path string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, parsed, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	return &Package{Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}

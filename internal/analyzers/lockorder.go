@@ -1,0 +1,238 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// serverPath is the package the lockorder invariants belong to.
+const serverPath = "graphgen/internal/server"
+
+// LockOrderAnalyzer enforces internal/server's two locking contracts
+// (established in PR 3 and documented on Server):
+//
+//  1. Lock order is dbMu before sessMu. Acquiring dbMu — directly or by
+//     calling a method that does — while sessMu is held inverts the order
+//     and can deadlock against Close.
+//  2. Everything that touches relational tables runs inside a dbMu
+//     critical section: relstore.Table mutators and stats
+//     (Insert/Delete/DeleteWhere/CreateIndex/NDistinct/IndexedColumns),
+//     DB loads, Engine extractions, and LiveGraph.Close (which cancels
+//     change-log subscriptions that mutations walk concurrently — the
+//     exact race PR 3 fixed).
+//
+// The analysis is intra-procedural and position-based: within one
+// function body, a mutex is held from its Lock to the next non-deferred
+// Unlock (a deferred Unlock holds to function end). That approximates
+// control flow, but matches how the server code is written — straight-line
+// critical sections — and catches every historical bug shape.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "internal/server: dbMu before sessMu; table/extraction/live-close calls only under dbMu",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one position-ordered occurrence inside a function body.
+type lockEvent struct {
+	pos  token.Pos
+	kind int
+	call *ast.CallExpr
+	name string // rendering for diagnostics
+}
+
+const (
+	evSessLock = iota
+	evSessUnlock
+	evDbLock
+	evDbUnlock
+	evDbLockerCall // call to a method known to acquire dbMu
+	evTableOp      // relational access that requires dbMu
+)
+
+func runLockOrder(pass *Pass) error {
+	if pass.Pkg.Path() != serverPath {
+		return nil
+	}
+	// Pre-pass: methods of this package whose bodies acquire dbMu
+	// directly; calling one of them while sessMu is held is an order
+	// inversion one level removed (the closeLive shape).
+	dbLockers := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locks := false
+			inspectUnit(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if kind, _ := classifyMutexCall(pass.Info, call); kind == evDbLock {
+						locks = true
+					}
+				}
+				return true
+			})
+			if locks {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					dbLockers[obj] = true
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		funcUnits(file, func(_ string, body *ast.BlockStmt) {
+			lockOrderUnit(pass, body, dbLockers)
+		})
+	}
+	return nil
+}
+
+func lockOrderUnit(pass *Pass, body *ast.BlockStmt, dbLockers map[types.Object]bool) {
+	var events []lockEvent
+	add := func(pos token.Pos, kind int, call *ast.CallExpr, name string) {
+		events = append(events, lockEvent{pos: pos, kind: kind, call: call, name: name})
+	}
+	deferred := map[*ast.CallExpr]bool{}
+	inspectUnit(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, _ := classifyMutexCall(pass.Info, call); kind >= 0 {
+			// A deferred Unlock runs at function end: recording no event
+			// leaves the mutex held for the rest of the position scan,
+			// which is exactly the deferred semantics.
+			if !deferred[call] {
+				add(call.Pos(), kind, call, "")
+			}
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		if dbLockers[f] {
+			add(call.Pos(), evDbLockerCall, call, f.Name())
+			return true
+		}
+		if name, ok := tableOpName(f); ok {
+			add(call.Pos(), evTableOp, call, name)
+		}
+		return true
+	})
+
+	// Position-ordered simulation. AST inspection already visits in
+	// source order within one unit.
+	sessHeld, dbHeld := false, false
+	for _, ev := range events {
+		switch ev.kind {
+		case evSessLock:
+			sessHeld = true
+		case evSessUnlock:
+			sessHeld = false
+		case evDbLock:
+			if sessHeld {
+				pass.Reportf(ev.pos, "dbMu acquired while sessMu is held; the lock order is dbMu before sessMu (see Server.Close)")
+			}
+			dbHeld = true
+		case evDbUnlock:
+			dbHeld = false
+		case evDbLockerCall:
+			if sessHeld {
+				pass.Reportf(ev.pos, "%s acquires dbMu and must not be called while sessMu is held; the lock order is dbMu before sessMu", ev.name)
+			}
+		case evTableOp:
+			if !dbHeld {
+				pass.Reportf(ev.pos, "%s outside a dbMu critical section; relational tables and live-session teardown are serialized on dbMu", ev.name)
+			}
+		}
+	}
+}
+
+// classifyMutexCall classifies a call as a dbMu/sessMu lock event. The
+// mutex identity is the field name (dbMu/sessMu on any receiver), the
+// method must be a real sync.Mutex/RWMutex method. isDefer distinguishes
+// Unlock calls so the caller can apply deferred semantics.
+func classifyMutexCall(info *types.Info, call *ast.CallExpr) (kind int, isUnlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isSyncLockMethod(info, sel) {
+		return -1, false
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	var fieldName string
+	if ok {
+		fieldName = field.Sel.Name
+	} else if id, isId := ast.Unparen(sel.X).(*ast.Ident); isId {
+		fieldName = id.Name
+	} else {
+		return -1, false
+	}
+	var sess bool
+	switch fieldName {
+	case "dbMu":
+	case "sessMu":
+		sess = true
+	default:
+		return -1, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		if sess {
+			return evSessLock, false
+		}
+		return evDbLock, false
+	case "Unlock", "RUnlock":
+		if sess {
+			return evSessUnlock, true
+		}
+		return evDbUnlock, true
+	}
+	return -1, false
+}
+
+// isSyncLockMethod reports whether sel resolves to a method of
+// sync.Mutex or sync.RWMutex.
+func isSyncLockMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return typeIs(sig.Recv().Type(), "sync", "Mutex") || typeIs(sig.Recv().Type(), "sync", "RWMutex")
+}
+
+// tableOpName reports whether f is a call that must run under dbMu, and
+// returns a human-readable name for it.
+func tableOpName(f *types.Func) (string, bool) {
+	type op struct{ pkg, typ, name string }
+	ops := []op{
+		{relstorePath, "Table", "Insert"},
+		{relstorePath, "Table", "Delete"},
+		{relstorePath, "Table", "DeleteWhere"},
+		{relstorePath, "Table", "CreateIndex"},
+		{relstorePath, "Table", "NDistinct"},
+		{relstorePath, "Table", "IndexedColumns"},
+		{relstorePath, "DB", "Create"},
+		{relstorePath, "DB", "Attach"},
+		{relstorePath, "DB", "LoadCSV"},
+		{relstorePath, "DB", "LoadCSVFiles"},
+		{"graphgen", "Engine", "Extract"},
+		{"graphgen", "Engine", "ExtractLive"},
+		{"graphgen", "Engine", "ExtractProgram"},
+		{"graphgen", "LiveGraph", "Close"},
+	}
+	for _, o := range ops {
+		if isMethod(f, o.pkg, o.typ, o.name) {
+			return "(" + o.typ + ")." + o.name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,187 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NotifyOrderAnalyzer enforces the relstore mutation contract established
+// in PR 2 and sharpened in PR 5:
+//
+//   - Every Table method that writes the row storage must call notify, so
+//     indexes, the statistics catalog, and change-log subscribers observe
+//     the mutation. A mutator that skips notify silently desynchronizes
+//     every live graph and secondary index.
+//   - Inside Table.notify, index maintenance (Index.apply, the loop over
+//     t.indexes) must complete before any change-log subscriber runs:
+//     subscribers (live-graph delta evaluation) probe indexes and must
+//     always see post-change state.
+//   - Subscribers are invoked only from notify — never directly from a
+//     mutation path, which would bypass the ordering guarantee.
+//   - Outside internal/relstore, writing Table.Rows directly bypasses the
+//     entire contract; callers must use Insert/Delete/DeleteWhere.
+var NotifyOrderAnalyzer = &Analyzer{
+	Name: "notifyorder",
+	Doc:  "relstore mutators route through Table.notify; notify updates indexes before subscribers run",
+	Run:  runNotifyOrder,
+}
+
+func runNotifyOrder(pass *Pass) error {
+	if pass.Pkg.Path() == relstorePath {
+		runNotifyOrderIntra(pass)
+		return nil
+	}
+	// Cross-package half: direct writes to relstore.Table.Rows.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if sel := rowsFieldSel(pass, lhs); sel != nil {
+					pass.Reportf(as.Pos(), "direct write to (relstore.Table).Rows bypasses notify — indexes, change-log subscribers, and stats go stale; use Insert/Delete/DeleteWhere")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rowsFieldSel returns the selector if lhs is (or indexes/slices into)
+// the Rows field of a relstore.Table.
+func rowsFieldSel(pass *Pass, lhs ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.SliceExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Rows" {
+				if tv, ok := pass.Info.Types[x.X]; ok && typeIs(tv.Type, relstorePath, "Table") {
+					return x
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func runNotifyOrderIntra(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if len(fd.Recv.List) == 0 || !typeIs(pass.Info.TypeOf(fd.Recv.List[0].Type), relstorePath, "Table") {
+				continue
+			}
+			checkTableMethod(pass, fd)
+		}
+	}
+}
+
+func checkTableMethod(pass *Pass, fd *ast.FuncDecl) {
+	var (
+		rowsWrites  []token.Pos
+		notifyCalls []token.Pos
+		subsInvokes []token.Pos
+		indexApplys []token.Pos
+	)
+	// Range variables bound to t.subs / t.indexes elements; calling one
+	// is a subscriber invocation / index-maintenance step.
+	subsVars := map[string]bool{}
+	indexVars := map[string]bool{}
+	inspectUnit(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			field := tableFieldName(pass, x.X)
+			if v, ok := x.Value.(*ast.Ident); ok && v.Name != "_" {
+				if field == "subs" {
+					subsVars[v.Name] = true
+				}
+				if field == "indexes" {
+					indexVars[v.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel := rowsFieldSel(pass, lhs); sel != nil {
+					rowsWrites = append(rowsWrites, x.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(x.Fun).(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "notify" {
+					if tv, ok := pass.Info.Types[fun.X]; ok && typeIs(tv.Type, relstorePath, "Table") {
+						notifyCalls = append(notifyCalls, x.Pos())
+					}
+				}
+				if fun.Sel.Name == "apply" {
+					if tv, ok := pass.Info.Types[fun.X]; ok && typeIs(tv.Type, relstorePath, "Index") {
+						indexApplys = append(indexApplys, x.Pos())
+					}
+				}
+				// t.subs[i](ch): Fun is an IndexExpr handled below.
+			case *ast.Ident:
+				if subsVars[fun.Name] {
+					subsInvokes = append(subsInvokes, x.Pos())
+				}
+				if indexVars[fun.Name] {
+					indexApplys = append(indexApplys, x.Pos())
+				}
+			case *ast.IndexExpr:
+				if tableFieldName(pass, fun.X) == "subs" {
+					subsInvokes = append(subsInvokes, x.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	if fd.Name.Name == "notify" {
+		if len(subsInvokes) > 0 {
+			if len(indexApplys) == 0 {
+				pass.Reportf(subsInvokes[0], "notify runs change-log subscribers without maintaining indexes; indexes must be brought up to date first")
+			} else if minPos(subsInvokes) < minPos(indexApplys) {
+				pass.Reportf(minPos(subsInvokes), "change-log subscribers run before index maintenance; subscribers probe indexes and must observe post-change state")
+			}
+		}
+		return
+	}
+	if len(subsInvokes) > 0 {
+		pass.Reportf(subsInvokes[0], "change-log subscribers invoked outside Table.notify; mutation paths must go through notify so index maintenance runs first")
+	}
+	if len(rowsWrites) > 0 && len(notifyCalls) == 0 {
+		pass.Reportf(rowsWrites[0], "%s mutates Table.Rows without calling notify; indexes and change-log subscribers go stale", fd.Name.Name)
+	}
+}
+
+// tableFieldName returns the field name when e is a selector t.<field> on
+// a relstore.Table receiver, else "".
+func tableFieldName(pass *Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if tv, ok := pass.Info.Types[sel.X]; ok && typeIs(tv.Type, relstorePath, "Table") {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func minPos(ps []token.Pos) token.Pos {
+	m := ps[0]
+	for _, p := range ps[1:] {
+		if p < m {
+			m = p
+		}
+	}
+	return m
+}

@@ -1,0 +1,50 @@
+// Deterministic idioms the analyzer must accept: seeded rand, the
+// collect-then-sort pattern (stdlib or repo-local sorts), and loop-scoped
+// accumulators.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// seeded randomness flows through an explicit source.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// collectThenSort is the sanctioned map-drain idiom.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// localSorter uses a repo-local sort helper (the dedup mergeSortBy shape).
+func localSorter(m map[int32]int) []int32 {
+	var out []int32
+	for k := range m {
+		out = append(out, k)
+	}
+	mergeSortInt32s(out)
+	return out
+}
+
+func mergeSortInt32s(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// loopScoped restarts the slice each iteration; nothing outlives the loop.
+func loopScoped(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}

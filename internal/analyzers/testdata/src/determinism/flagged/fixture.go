@@ -1,0 +1,29 @@
+// Nondeterminism sources forbidden in the deterministic packages, checked
+// as if this fixture were graphgen/internal/datagen.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clocked reads wall clocks; output stops being a function of the seed.
+func clocked() time.Duration {
+	start := time.Now()      // want `determinism: time.Now in a deterministic package`
+	return time.Since(start) // want `determinism: time.Since in a deterministic package`
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	return rand.Intn(10) // want `determinism: global math/rand source \(rand.Intn\)`
+}
+
+// mapOrdered captures random map iteration order in a slice that outlives
+// the loop, with no sort before it escapes.
+func mapOrdered(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `determinism: append to out while ranging over a map`
+	}
+	return out
+}

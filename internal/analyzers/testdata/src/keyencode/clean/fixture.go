@@ -1,0 +1,42 @@
+// Clean key handling: Value.AppendKey length-prefixed encoding, or keys
+// not derived from Value data at all.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+
+	"graphgen/internal/relstore"
+)
+
+// appendKey is the sanctioned encoding.
+func appendKey(rows [][]relstore.Value) int {
+	seen := map[string]bool{}
+	n := 0
+	for _, row := range rows {
+		var sb strings.Builder
+		for _, v := range row {
+			v.AppendKey(&sb)
+		}
+		if !seen[sb.String()] {
+			seen[sb.String()] = true
+			n++
+		}
+	}
+	return n
+}
+
+// singleField uses one scalar component directly — nothing composite, so
+// nothing to collide.
+func singleField(v relstore.Value, set map[string]bool) bool {
+	return set[v.S]
+}
+
+// plainStrings composes keys from data unrelated to Values.
+func plainStrings(names []string) map[string]int {
+	out := map[string]int{}
+	for _, n := range names {
+		out[fmt.Sprintf("col:%s", n)]++
+	}
+	return out
+}

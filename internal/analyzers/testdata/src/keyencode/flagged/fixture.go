@@ -1,0 +1,46 @@
+// The PR 4 bug class: composite dedup keys built from relstore.Value data
+// with separator-based encodings. Every shape here collided or could
+// collide ("a|b"+"c" vs "a"+"b|c") and must be flagged.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+
+	"graphgen/internal/relstore"
+)
+
+// joinKey is the exact PR 4 shape: format each Value, join with "|", use
+// the result as a dedup-set key.
+func joinKey(rows [][]relstore.Value) map[string]bool {
+	seen := map[string]bool{}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+		seen[strings.Join(parts, "|")] = true // want `keyencode: map key built from relstore.Value data with strings.Join`
+	}
+	return seen
+}
+
+// concatKey builds the key by hand with + over Value.String().
+func concatKey(a, b relstore.Value, set map[string]struct{}) bool {
+	_, ok := set[a.String()+"|"+b.String()] // want `keyencode: map key built from relstore.Value data with string concatenation`
+	return ok
+}
+
+// sprintfKey collapses a whole row into one Sprintf and deletes by it.
+func sprintfKey(row []relstore.Value, set map[string]int) {
+	delete(set, fmt.Sprintf("%v", row)) // want `keyencode: map key built from relstore.Value data with fmt.Sprintf`
+}
+
+// accumKey grows the key across loop iterations with +=; the report lands
+// on the build site, not the map use below.
+func accumKey(row []relstore.Value) map[string]int {
+	rowKey := ""
+	for _, v := range row {
+		rowKey += v.String() + ";" // want `keyencode: map key built from relstore.Value data with a rowKey key assembled above`
+	}
+	return map[string]int{rowKey: 1}
+}

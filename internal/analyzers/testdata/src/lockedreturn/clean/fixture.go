@@ -1,0 +1,46 @@
+// Lock discipline the analyzer must accept: deferred unlocks, explicit
+// unlock-before-return, and per-closure lock scopes.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// deferred covers every return path.
+func (g *guarded) deferred(fail bool) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return 0, errors.New("boom")
+	}
+	return g.n, nil
+}
+
+// explicit unlocks on each path before returning.
+func (g *guarded) explicit(fail bool) int {
+	g.rw.RLock()
+	if fail {
+		g.rw.RUnlock()
+		return -1
+	}
+	n := g.n
+	g.rw.RUnlock()
+	return n
+}
+
+// closures are independent units: the literal's return does not leak the
+// enclosing function's lock state.
+func (g *guarded) closure() func() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return func() int {
+		return 1
+	}
+}

@@ -1,0 +1,44 @@
+// Early returns that leak a held mutex — the "error path forgot the
+// Unlock" class.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leak forgets the unlock on the error path.
+func (g *guarded) leak(fail bool) (int, error) {
+	g.mu.Lock()
+	if fail {
+		return 0, errors.New("boom") // want `lockedreturn: return leaks g.mu.Lock held since line \d+`
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n, nil
+}
+
+// rleak does the same with the read half of an RWMutex.
+func (g *guarded) rleak(fail bool) int {
+	g.rw.RLock()
+	if fail {
+		return -1 // want `lockedreturn: return leaks g.rw.RLock held since line \d+`
+	}
+	g.rw.RUnlock()
+	return g.n
+}
+
+// relock leaks the second acquisition: the unlock between the two
+// releases only the first.
+func (g *guarded) relock() int {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Lock()
+	return g.n // want `lockedreturn: return leaks g.mu.Lock held since line \d+`
+}

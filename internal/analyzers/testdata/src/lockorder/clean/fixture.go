@@ -1,0 +1,39 @@
+// Correct locking: dbMu before sessMu, table access and live teardown
+// inside dbMu critical sections.
+package fixture
+
+import (
+	"sync"
+
+	"graphgen"
+	"graphgen/internal/relstore"
+)
+
+type srv struct {
+	dbMu   sync.Mutex
+	sessMu sync.RWMutex
+	tab    *relstore.Table
+	lg     *graphgen.LiveGraph
+}
+
+// ordered is the Server.Close shape: dbMu first, sessMu nested inside.
+func (s *srv) ordered() {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	s.lg.Close()
+	s.sessMu.Lock()
+	s.sessMu.Unlock()
+}
+
+// insertLocked mutates the table under dbMu.
+func (s *srv) insertLocked(row []relstore.Value) error {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	return s.tab.Insert(row...)
+}
+
+// sessionsOnly never touches dbMu or tables; sessMu alone is fine.
+func (s *srv) sessionsOnly() {
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
+}

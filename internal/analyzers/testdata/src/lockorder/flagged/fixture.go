@@ -1,0 +1,58 @@
+// The PR 3 bug class: sessMu-before-dbMu inversions and relational table
+// access outside a dbMu critical section, checked as if this fixture were
+// graphgen/internal/server.
+package fixture
+
+import (
+	"sync"
+
+	"graphgen"
+	"graphgen/internal/relstore"
+)
+
+type srv struct {
+	dbMu   sync.Mutex
+	sessMu sync.RWMutex
+	tab    *relstore.Table
+	lg     *graphgen.LiveGraph
+}
+
+// inverted takes the locks in the wrong order.
+func (s *srv) inverted() {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	s.dbMu.Lock() // want `lockorder: dbMu acquired while sessMu is held`
+	s.dbMu.Unlock()
+}
+
+// lockDB is fine on its own but marks the method as a dbMu acquirer.
+func (s *srv) lockDB() {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+}
+
+// indirect is the closeLive shape one level removed: a method that
+// acquires dbMu called under sessMu.
+func (s *srv) indirect() {
+	s.sessMu.RLock()
+	s.lockDB() // want `lockorder: lockDB acquires dbMu and must not be called while sessMu is held`
+	s.sessMu.RUnlock()
+}
+
+// insertUnlocked touches a table with no dbMu held.
+func (s *srv) insertUnlocked(row []relstore.Value) error {
+	return s.tab.Insert(row...) // want `lockorder: \(Table\)\.Insert outside a dbMu critical section`
+}
+
+// closeUnlocked cancels live maintenance while mutations may be walking
+// the change-log subscriber list — the exact PR 3 race.
+func (s *srv) closeUnlocked() {
+	s.lg.Close() // want `lockorder: \(LiveGraph\)\.Close outside a dbMu critical section`
+}
+
+// released shows the position model catching use-after-unlock too.
+func (s *srv) released(row []relstore.Value) error {
+	s.dbMu.Lock()
+	s.dbMu.Unlock()
+	return s.tab.Insert(row...) // want `lockorder: \(Table\)\.Insert outside a dbMu critical section`
+}

@@ -1,0 +1,39 @@
+// The correct relstore mutation shape: mutators append and notify; notify
+// maintains indexes before subscribers run.
+package fixture
+
+type Change struct{ Added bool }
+
+type Index struct{ n int }
+
+func (ix *Index) apply(ch Change) { ix.n++ }
+
+type Table struct {
+	Rows    [][]int64
+	indexes map[int]*Index
+	subs    []func(Change)
+}
+
+func (t *Table) notify(ch Change) {
+	for _, ix := range t.indexes {
+		ix.apply(ch)
+	}
+	for _, fn := range t.subs {
+		fn(ch)
+	}
+}
+
+// Insert is the sanctioned mutator shape.
+func (t *Table) Insert(row []int64) {
+	t.Rows = append(t.Rows, row)
+	t.notify(Change{Added: true})
+}
+
+// Scan only reads; no notify needed.
+func (t *Table) Scan() int {
+	n := 0
+	for _, r := range t.Rows {
+		n += len(r)
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+// The cross-package half of notifyorder: outside internal/relstore, code
+// must not write Table.Rows directly — that bypasses index maintenance,
+// the stats catalog, and every live graph's change log.
+package fixture
+
+import "graphgen/internal/relstore"
+
+// trimRows chops the row slice behind the store's back.
+func trimRows(t *relstore.Table, n int) {
+	t.Rows = t.Rows[:n] // want `notifyorder: direct write to \(relstore.Table\)\.Rows bypasses notify`
+}
+
+// insertProper goes through the mutator API.
+func insertProper(t *relstore.Table, row []relstore.Value) error {
+	return t.Insert(row...)
+}
+
+// readRows only reads; reading is fine anywhere.
+func readRows(t *relstore.Table) int {
+	return len(t.Rows)
+}

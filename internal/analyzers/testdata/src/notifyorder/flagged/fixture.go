@@ -1,0 +1,43 @@
+// Violations of the relstore mutation contract, checked as if this
+// fixture were graphgen/internal/relstore itself: the analyzer matches the
+// Table/Index type names under that import path.
+package fixture
+
+// Change mirrors the real change-log record.
+type Change struct{ Added bool }
+
+// Index mirrors the real secondary index.
+type Index struct{ n int }
+
+func (ix *Index) apply(ch Change) { ix.n++ }
+
+// Table mirrors the real row store: rows, indexes, subscribers.
+type Table struct {
+	Rows    [][]int64
+	indexes map[int]*Index
+	subs    []func(Change)
+}
+
+// notify runs subscribers before index maintenance — a subscriber probing
+// an index would observe pre-change state.
+func (t *Table) notify(ch Change) {
+	for _, fn := range t.subs {
+		fn(ch) // want `notifyorder: change-log subscribers run before index maintenance`
+	}
+	for _, ix := range t.indexes {
+		ix.apply(ch)
+	}
+}
+
+// InsertQuiet mutates rows without telling anyone.
+func (t *Table) InsertQuiet(row []int64) {
+	t.Rows = append(t.Rows, row) // want `notifyorder: InsertQuiet mutates Table.Rows without calling notify`
+}
+
+// InsertDirect bypasses notify and calls subscribers itself.
+func (t *Table) InsertDirect(row []int64, ch Change) {
+	t.Rows = append(t.Rows, row) // want `notifyorder: InsertDirect mutates Table.Rows without calling notify`
+	for _, fn := range t.subs {
+		fn(ch) // want `notifyorder: change-log subscribers invoked outside Table.notify`
+	}
+}

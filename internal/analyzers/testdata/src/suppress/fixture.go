@@ -1,0 +1,42 @@
+// Exercises the suppression policy itself: a justified directive silences
+// a finding, a stale directive is reported, an unknown analyzer name is
+// reported, and a directive without a justification is reported while the
+// finding it failed to silence survives. The test asserts on these
+// diagnostics directly (want comments cannot live inside directives).
+package fixture
+
+import "sync"
+
+type handoff struct {
+	mu sync.Mutex
+	n  int
+}
+
+// locked intentionally returns with the mutex held; the caller unlocks.
+func (h *handoff) locked() int {
+	h.mu.Lock()
+	//lint:ignore lockedreturn lock handed to the caller, which must Unlock after reading
+	return h.n
+}
+
+// unlocked has nothing to suppress: the directive is stale.
+func (h *handoff) unlocked() int {
+	h.mu.Lock()
+	h.mu.Unlock()
+	//lint:ignore lockedreturn this suppresses nothing
+	return h.n
+}
+
+// typo names an analyzer that does not exist.
+func (h *handoff) typo() {
+	//lint:ignore lockedretrun misspelled analyzer name
+	h.n++
+}
+
+// bare has no justification, so the directive is rejected and the finding
+// it sits on survives.
+func (h *handoff) bare() int {
+	h.mu.Lock()
+	//lint:ignore lockedreturn
+	return h.n
+}

@@ -18,7 +18,7 @@ import (
 // pool; min-label reduction is order-insensitive, so any worker count
 // produces identical labels.
 func Components(g *core.Graph, opts ...Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore determinism wall clock feeds only Result.Duration
 	e := newEngine(g, resolveOpts(opts))
 	nR := int32(g.NumRealSlots())
 	total := int(nR) + g.NumVirtualSlots()

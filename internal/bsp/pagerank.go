@@ -23,7 +23,7 @@ import (
 // state is partition-private and messages only move at the barrier, so the
 // results match the serial run up to float summation order.
 func PageRank(g *core.Graph, iters int, damping float64, opts ...Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore determinism wall clock feeds only Result.Duration
 	mode := g.Mode()
 	if mode == core.CDUP {
 		return nil, ErrNeedsDedup

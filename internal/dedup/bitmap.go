@@ -218,9 +218,13 @@ func planBitmap2(g *core.Graph, u int32) *bitmap2Plan {
 		}
 		chosen[v] = bmp
 	}
+	// Emit the chosen bitmaps in discovery (reach) order, not map order, so a
+	// plan's bitmap sequence is identical run to run.
 	p := &bitmap2Plan{origin: u}
-	for v, bmp := range chosen {
-		p.bitmaps = append(p.bitmaps, plannedBitmap{virt: v, bits: bmp})
+	for _, v := range reach {
+		if bmp, ok := chosen[v]; ok {
+			p.bitmaps = append(p.bitmaps, plannedBitmap{virt: v, bits: bmp})
+		}
 	}
 	// Prune first-layer edges whose whole subtree contributed nothing.
 	kept := make(map[int32]struct{})

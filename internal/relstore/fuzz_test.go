@@ -1,0 +1,157 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// csvFuzzSeeds are the inline half of the FuzzLoadCSV corpus (the other
+// half is checked in under testdata/fuzz/FuzzLoadCSV): the shapes the unit
+// tests exercise, plus inputs near every parse/inference edge.
+var csvFuzzSeeds = []string{
+	"id,name,age\n1,ann,30\n2,bob,41\n",   // the canonical load
+	"a,b\n",                               // header only: all String
+	"id,code\n1,42\n2,7a\n3,9\n",          // one bad cell demotes the column
+	"a\n1\n",                              // single Int column
+	"a,b\n1\n",                            // arity mismatch
+	"a,b\n\"x,y\",2\n",                    // quoted separator
+	"a\n\"multi\nline\"\n",                // quoted newline
+	"a,a\n1,2\n",                          // duplicate column names
+	" a , b \n 1 , x \n",                  // whitespace trimming
+	"a\n-9223372036854775808\n",           // int64 min
+	"a\n9999999999999999999999\n",         // overflow demotes to String
+	"\"\"\n",                              // single empty column name
+	"a,b\n1,\"b\"\"q\"\n",                 // escaped quote
+	"",                                    // empty input
+	"a,b\n1,2\n3\n",                       // ragged rows
+	"\xff\xfe,b\n1,2\n",                   // non-UTF-8 header
+	"a;b\n1;2\n",                          // wrong separator: one column
+	"a,b\r\n1,2\r\n",                      // CRLF line endings
+	"id,ts\n1,2020-01-01\n2,2021-02-03\n", // date-like strings
+	"x\n0x10\n",                           // hex is not ParseInt base-10
+	"a,b,c\n,,\n1,2,3\n",                  // empty fields
+	"col\n\" leading\"\n\"trailing \"\n",  // quoted spaces survive csv, then trim
+	"n\n007\n",                            // non-canonical int spelling
+	"a\n\ninput\n",                        // blank line skipped by the reader
+	"p,q\n1,x\n2,y\n1,x\n",                // duplicate rows
+	"long\n" + strings.Repeat("9", 400) + "\n", // very long numeric token
+}
+
+// renderCSV writes the table back out as CSV: header row of column names,
+// then every row with Ints in canonical base-10 form.
+func renderCSV(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	header := make([]string, len(tbl.Cols))
+	for i, c := range tbl.Cols {
+		header[i] = c.Name
+	}
+	if err := w.Write(header); err != nil {
+		t.Fatal(err)
+	}
+	record := make([]string, len(tbl.Cols))
+	for _, row := range tbl.Rows {
+		for i, v := range row {
+			if v.T == Int {
+				record[i] = strconv.FormatInt(v.I, 10)
+			} else {
+				record[i] = v.S
+			}
+		}
+		if err := w.Write(record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// checkSchema asserts the load upheld the inference contract: every value
+// carries its column's inferred type, every row has schema arity.
+func checkSchema(t *testing.T, tbl *Table) {
+	t.Helper()
+	for ri, row := range tbl.Rows {
+		if len(row) != len(tbl.Cols) {
+			t.Fatalf("row %d arity %d, schema arity %d", ri, len(row), len(tbl.Cols))
+		}
+		for ci, v := range row {
+			if v.T != tbl.Cols[ci].Type {
+				t.Fatalf("row %d column %d: value type %v, column type %v", ri, ci, v.T, tbl.Cols[ci].Type)
+			}
+			if v.T == String && strings.TrimSpace(v.S) != v.S {
+				t.Fatalf("row %d column %d: untrimmed string %q", ri, ci, v.S)
+			}
+		}
+	}
+}
+
+func sameTable(a, b *Table) bool {
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !a.Rows[i][j].Equal(b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzLoadCSV asserts three invariants over arbitrary input: LoadCSV never
+// panics (bad input fails with an error, never a crash); a successful load
+// upholds the type-inference contract (value types match inferred column
+// types, rows have schema arity, strings are trimmed); and reloading a
+// rendered table is a fixpoint — the first round trip may normalize
+// (encoding/csv folds CRLF in quoted fields and drops blank records), but
+// load(render(x)) must be stable from then on, so inferred types can be
+// trusted across save/load cycles.
+func FuzzLoadCSV(f *testing.F) {
+	for _, s := range csvFuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tbl, err := NewDB().LoadCSV("Fuzz", strings.NewReader(src))
+		if err != nil {
+			return // malformed input: an error is the contract
+		}
+		checkSchema(t, tbl)
+
+		// The only legitimately unreloadable table: a single column with
+		// an empty name renders as a blank header line, which the CSV
+		// reader skips.
+		if len(tbl.Cols) == 1 && tbl.Cols[0].Name == "" {
+			return
+		}
+		out1 := renderCSV(t, tbl)
+		tbl2, err := NewDB().LoadCSV("Fuzz", strings.NewReader(out1))
+		if err != nil {
+			t.Fatalf("rendered CSV failed to reload: %v\ninput: %q\nrendered: %q", err, src, out1)
+		}
+		checkSchema(t, tbl2)
+		out2 := renderCSV(t, tbl2)
+		tbl3, err := NewDB().LoadCSV("Fuzz", strings.NewReader(out2))
+		if err != nil {
+			t.Fatalf("second reload failed: %v\nrendered: %q", err, out2)
+		}
+		if !sameTable(tbl2, tbl3) {
+			t.Fatalf("round trip is not a fixpoint\ninput: %q\nfirst: %+v %v\nsecond: %+v %v",
+				src, tbl2.Cols, tbl2.Rows, tbl3.Cols, tbl3.Rows)
+		}
+		if out3 := renderCSV(t, tbl3); out2 != out3 {
+			t.Fatalf("rendering is not stable: %q vs %q", out2, out3)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 // the small randomized test graphs.
 func naiveDistances(g graphapi.Graph, sources []int64) map[int64]int64 {
 	present := make(map[int64]bool)
+	var verts []int64 // iterator order, so the edge list is reproducible
 	it := g.Vertices()
 	for {
 		v, ok := it.Next()
@@ -26,10 +27,11 @@ func naiveDistances(g graphapi.Graph, sources []int64) map[int64]int64 {
 			break
 		}
 		present[v] = true
+		verts = append(verts, v)
 	}
 	type edge struct{ u, v int64 }
 	var edges []edge
-	for u := range present {
+	for _, u := range verts {
 		nit := g.Neighbors(u)
 		for {
 			v, ok := nit.Next()

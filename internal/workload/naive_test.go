@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"graphgen"
+	"graphgen/internal/core"
+)
+
+// TestNaiveDistancesHandBuilt pins naiveDistances after graphlint's
+// determinism analyzer flagged its edge list being collected while ranging
+// over the vertex-presence map: the reference now walks vertices in
+// iterator order, and its output on a known graph is exact.
+func TestNaiveDistancesHandBuilt(t *testing.T) {
+	g := graphgen.WrapCore(core.New(core.EXP))
+	for _, id := range []int64{10, 20, 30, 40, 50, 60} {
+		if err := g.AddVertex(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]int64{{10, 20}, {20, 30}, {10, 40}, {40, 30}, {30, 50}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[int64]int64{10: 0, 20: 1, 40: 1, 30: 2, 50: 3} // 60 unreachable
+	for rep := 0; rep < 5; rep++ {
+		got := naiveDistances(g, []int64{10})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rep %d: distances %v, want %v", rep, got, want)
+		}
+	}
+}
