@@ -103,6 +103,11 @@ type Benchmark struct {
 	MinNsPerOp    int64   `json:"min_ns_per_op"`
 	MedianNsPerOp int64   `json:"median_ns_per_op"`
 	Count         int     `json:"count"`
+	// Extras carries custom b.ReportMetric units (e.g.
+	// "peak_intermediate_rows", "edges") — the smallest value observed
+	// across the runs, informational rather than gated. Additive to
+	// schema version 2: artifacts without it load unchanged.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 func main() {
@@ -228,6 +233,16 @@ func loadArtifact(path string) (*Artifact, error) {
 // value (go emits a float for sub-ns results).
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// metricPair matches one "<value> <unit>" cell after the ns/op column:
+// the standard testing columns (B/op, allocs/op, MB/s) and any custom
+// b.ReportMetric units like "253804 peak_intermediate_rows".
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?)\s+([A-Za-z_][A-Za-z0-9_/%-]*)`)
+
+// standardUnits are the cells Convert already models (ns/op) or
+// deliberately ignores (allocator counters move with GOGC and would make
+// every artifact diff noisy); everything else lands in Extras.
+var standardUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
+
 // loadstatLine matches one latency row emitted by cmd/graphload, e.g.
 //
 //	LOADSTAT graphload/read ops=5000 errors=0 p50_ns=120000 p95_ns=300000 p99_ns=500000 ops_per_s=1234.5
@@ -247,6 +262,7 @@ func Convert(r io.Reader) (*Artifact, error) {
 		return nil, err
 	}
 	runs := make(map[string][]int64)
+	extraRuns := make(map[string]map[string][]float64)
 	var order []string
 	latRuns := make(map[string][]Latency)
 	var latOrder []string
@@ -257,15 +273,29 @@ func Convert(r io.Reader) (*Artifact, error) {
 		}
 		line := string(raw[start:pos])
 		start = pos + 1
-		if m := benchLine.FindStringSubmatch(line); m != nil {
-			ns, err := strconv.ParseFloat(m[2], 64)
+		if loc := benchLine.FindStringSubmatchIndex(line); loc != nil {
+			name := line[loc[2]:loc[3]]
+			ns, err := strconv.ParseFloat(line[loc[4]:loc[5]], 64)
 			if err != nil {
 				return nil, fmt.Errorf("parsing %q: %w", line, err)
 			}
-			if _, seen := runs[m[1]]; !seen {
-				order = append(order, m[1])
+			if _, seen := runs[name]; !seen {
+				order = append(order, name)
 			}
-			runs[m[1]] = append(runs[m[1]], int64(ns))
+			runs[name] = append(runs[name], int64(ns))
+			for _, pm := range metricPair.FindAllStringSubmatch(line[loc[1]:], -1) {
+				if standardUnits[pm[2]] {
+					continue
+				}
+				val, err := strconv.ParseFloat(pm[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", line, err)
+				}
+				if extraRuns[name] == nil {
+					extraRuns[name] = make(map[string][]float64)
+				}
+				extraRuns[name][pm[2]] = append(extraRuns[name][pm[2]], val)
+			}
 			continue
 		}
 		if m := loadstatLine.FindStringSubmatch(line); m != nil {
@@ -282,12 +312,20 @@ func Convert(r io.Reader) (*Artifact, error) {
 	art := &Artifact{SchemaVersion: SchemaVersion}
 	for _, name := range order {
 		ns := runs[name]
+		var extras map[string]float64
+		if per := extraRuns[name]; len(per) > 0 {
+			extras = make(map[string]float64, len(per))
+			for unit, vals := range per {
+				extras[unit] = slices.Min(vals)
+			}
+		}
 		art.Benchmarks = append(art.Benchmarks, Benchmark{
 			Name:          name,
 			RunsNsPerOp:   ns,
 			MinNsPerOp:    slices.Min(ns),
 			MedianNsPerOp: median(ns),
 			Count:         len(ns),
+			Extras:        extras,
 		})
 	}
 	for _, name := range latOrder {

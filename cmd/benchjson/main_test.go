@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -41,6 +42,44 @@ func TestConvertGroupsRunsAndStripsGOMAXPROCS(t *testing.T) {
 	srv := art.Benchmarks[1]
 	if srv.Name != "BenchmarkServerThroughput" || srv.MedianNsPerOp != 123456 || srv.MinNsPerOp != 120000 {
 		t.Fatalf("server benchmark: %+v", srv)
+	}
+}
+
+// TestConvertExtras: custom b.ReportMetric units after the ns/op column
+// land in Extras (min across runs); the standard allocator columns do
+// not.
+func TestConvertExtras(t *testing.T) {
+	input := "BenchmarkStreamingExtraction/Streaming-8 \t 1\t 251000000 ns/op\t 215586 peak_intermediate_rows\t 1024 B/op\t 12 allocs/op\n" +
+		"BenchmarkStreamingExtraction/Streaming-8 \t 1\t 252000000 ns/op\t 215590 peak_intermediate_rows\n" +
+		"BenchmarkStreamingExtraction/Materializing-8 \t 1\t 260000000 ns/op\t 567678 peak_intermediate_rows\n"
+	art, err := Convert(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(art.Benchmarks), art.Benchmarks)
+	}
+	stream := art.Benchmarks[0]
+	if stream.Extras["peak_intermediate_rows"] != 215586 {
+		t.Fatalf("streaming extras = %v, want min of runs 215586", stream.Extras)
+	}
+	if len(stream.Extras) != 1 {
+		t.Fatalf("standard units leaked into extras: %v", stream.Extras)
+	}
+	if art.Benchmarks[1].Extras["peak_intermediate_rows"] != 567678 {
+		t.Fatalf("materializing extras = %v", art.Benchmarks[1].Extras)
+	}
+	// Round trip: Extras survive the JSON artifact.
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].Extras["peak_intermediate_rows"] != 215586 {
+		t.Fatalf("extras lost in round trip: %+v", back.Benchmarks[0])
 	}
 }
 

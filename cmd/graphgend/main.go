@@ -12,9 +12,9 @@
 //
 // Then drive it with curl (examples/serving walks through this):
 //
-//	curl -s localhost:8080/healthz
-//	curl -s -X POST localhost:8080/graphs -d '{"name":"coauth","live":true,"query":"..."}'
-//	curl -s localhost:8080/graphs/coauth/analyze/pagerank
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/graphs -d '{"name":"coauth","live":true,"query":"..."}'
+//	curl -s localhost:8080/v1/graphs/coauth/analyze/pagerank
 package main
 
 import (

@@ -6,6 +6,7 @@
 //	notifyorder   relstore mutators route through notify; indexes before subscribers
 //	determinism   deterministic packages shun wall clocks, global rand, map-order appends
 //	lockedreturn  returns must not leak a held mutex
+//	iterclose     row iterators in relstore/extract/datalogeval are closed or handed off
 //
 // Usage:
 //

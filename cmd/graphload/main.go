@@ -5,10 +5,10 @@
 // It replays three op classes against one live graph session, with a
 // configurable weight mix:
 //
-//	read     GET  /graphs/{s}/neighbors?v=ID   point lookups on random vertices
-//	mutate   POST /db/Knows/insert|delete      paired insert/delete of synthetic
+//	read     GET  /v1/graphs/{s}/neighbors?v=ID   point lookups on random vertices
+//	mutate   POST /v1/db/Knows/insert|delete      paired insert/delete of synthetic
 //	                                           edges (the live session follows)
-//	analyze  GET  /graphs/{s}/analyze/...      rotation over degree, components,
+//	analyze  GET  /v1/graphs/{s}/analyze/...      rotation over degree, components,
 //	                                           sssp, closeness
 //
 // With no -addr it generates an SNB social network (internal/datagen)
@@ -357,7 +357,7 @@ func (lg *loadgen) health() error {
 	var body struct {
 		Status string `json:"status"`
 	}
-	if err := lg.getJSON("/healthz", &body); err != nil {
+	if err := lg.getJSON("/v1/healthz", &body); err != nil {
 		return fmt.Errorf("endpoint %s unreachable or unhealthy: %w", lg.base, err)
 	}
 	if body.Status != "ok" {
@@ -375,10 +375,10 @@ func (lg *loadgen) createSession() (int64, error) {
 	var body struct {
 		Vertices int64 `json:"vertices"`
 	}
-	err := lg.postJSON("/graphs", req, &body, http.StatusCreated)
+	err := lg.postJSON("/v1/graphs", req, &body, http.StatusCreated)
 	if err != nil && strings.Contains(err.Error(), "409") {
 		lg.deleteSession()
-		err = lg.postJSON("/graphs", req, &body, http.StatusCreated)
+		err = lg.postJSON("/v1/graphs", req, &body, http.StatusCreated)
 	}
 	if err != nil {
 		return 0, fmt.Errorf("creating session (does the endpoint serve an SNB-schema dataset?): %w", err)
@@ -387,7 +387,7 @@ func (lg *loadgen) createSession() (int64, error) {
 }
 
 func (lg *loadgen) deleteSession() {
-	req, err := http.NewRequest(http.MethodDelete, lg.base+"/graphs/"+lg.session, nil)
+	req, err := http.NewRequest(http.MethodDelete, lg.base+"/v1/graphs/"+lg.session, nil)
 	if err != nil {
 		return
 	}
@@ -465,7 +465,7 @@ func (w *worker) doRead() error {
 	var body struct {
 		Degree *int `json:"degree"`
 	}
-	path := fmt.Sprintf("/graphs/%s/neighbors?v=%d", w.lg.session, v)
+	path := fmt.Sprintf("/v1/graphs/%s/neighbors?v=%d", w.lg.session, v)
 	if err := w.lg.getJSON(path, &body); err != nil {
 		return err
 	}
@@ -487,7 +487,7 @@ func (w *worker) doMutate() error {
 		src := mutIDBase + int64(w.id)*1_000_000 + w.mutSeq
 		w.mutSeq++
 		row := []int64{src, src + 1}
-		if err := w.lg.postJSON("/db/Knows/insert", map[string]any{"row": row}, &body, http.StatusOK); err != nil {
+		if err := w.lg.postJSON("/v1/db/Knows/insert", map[string]any{"row": row}, &body, http.StatusOK); err != nil {
 			return err
 		}
 		if body.Applied == nil || *body.Applied != 1 {
@@ -498,7 +498,7 @@ func (w *worker) doMutate() error {
 	}
 	row := w.pending
 	w.pending = nil
-	if err := w.lg.postJSON("/db/Knows/delete", map[string]any{"row": row}, &body, http.StatusOK); err != nil {
+	if err := w.lg.postJSON("/v1/db/Knows/delete", map[string]any{"row": row}, &body, http.StatusOK); err != nil {
 		return err
 	}
 	if body.Applied == nil || *body.Applied != 1 {
@@ -524,7 +524,7 @@ func (w *worker) doAnalyze() error {
 	var body struct {
 		Analysis string `json:"analysis"`
 	}
-	path := "/graphs/" + w.lg.session + "/analyze/" + p
+	path := "/v1/graphs/" + w.lg.session + "/analyze/" + p
 	if err := w.lg.getJSON(path, &body); err != nil {
 		return err
 	}

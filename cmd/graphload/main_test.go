@@ -106,17 +106,17 @@ func TestUnreachableEndpoint(t *testing.T) {
 func fakeDaemon(t *testing.T, neighbors http.HandlerFunc) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte(`{"status":"ok"}`))
 	})
-	mux.HandleFunc("POST /graphs", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /v1/graphs", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusCreated)
 		w.Write([]byte(`{"name":"load","live":true,"vertices":100}`))
 	})
-	mux.HandleFunc("DELETE /graphs/load", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("DELETE /v1/graphs/load", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte(`{"deleted":"load"}`))
 	})
-	mux.HandleFunc("GET /graphs/load/neighbors", neighbors)
+	mux.HandleFunc("GET /v1/graphs/load/neighbors", neighbors)
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
@@ -189,10 +189,10 @@ func TestReadErrorPaths(t *testing.T) {
 func TestSessionCreateConflictRetries(t *testing.T) {
 	var creates, deletes atomic.Int64
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte(`{"status":"ok"}`))
 	})
-	mux.HandleFunc("POST /graphs", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /v1/graphs", func(w http.ResponseWriter, _ *http.Request) {
 		if creates.Add(1) == 1 {
 			w.WriteHeader(http.StatusConflict)
 			w.Write([]byte(`{"error":"session \"load\" already exists"}`))
@@ -201,11 +201,11 @@ func TestSessionCreateConflictRetries(t *testing.T) {
 		w.WriteHeader(http.StatusCreated)
 		w.Write([]byte(`{"name":"load","vertices":10}`))
 	})
-	mux.HandleFunc("DELETE /graphs/load", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("DELETE /v1/graphs/load", func(w http.ResponseWriter, _ *http.Request) {
 		deletes.Add(1)
 		w.Write([]byte(`{"deleted":"load"}`))
 	})
-	mux.HandleFunc("GET /graphs/load/neighbors", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/graphs/load/neighbors", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte(`{"degree":0,"neighbors":[]}`))
 	})
 	ts := httptest.NewServer(mux)

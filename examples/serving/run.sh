@@ -13,47 +13,48 @@ DAEMON=$!
 trap 'kill $DAEMON 2>/dev/null || true' EXIT
 
 for _ in $(seq 1 50); do
-  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  curl -sf "$BASE/v1/healthz" >/dev/null 2>&1 && break
   sleep 0.1
 done
-curl -sf "$BASE/healthz"; echo
+curl -sf "$BASE/v1/healthz"; echo
 
 echo "== extract live co-author session =="
-curl -sf -X POST "$BASE/graphs" -d '{
+curl -sf -X POST "$BASE/v1/graphs" -d '{
   "name": "coauth",
   "live": true,
   "query": "Nodes(ID, Name) :- Author(ID, Name). Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P)."
 }'
 
 echo "== analyze twice (second is cached) =="
-curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | head -c 400; echo
-curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
+curl -sf "$BASE/v1/graphs/coauth/analyze/pagerank?k=5" | head -c 400; echo
+curl -sf "$BASE/v1/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
 
 echo "== mutate: live graph and cache follow =="
-curl -sf -X POST "$BASE/db/AuthorPub/insert" -d '{"rows": [[1, 99991], [2, 99991]]}'; echo
-curl -sf "$BASE/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
-curl -sf "$BASE/graphs/coauth/neighbors?v=1" | head -c 200; echo
-curl -sf -X POST "$BASE/db/AuthorPub/delete" -d '{"row": [2, 99991]}'; echo
+curl -sf -X POST "$BASE/v1/db/AuthorPub/insert" -d '{"rows": [[1, 99991], [2, 99991]]}'; echo
+curl -sf "$BASE/v1/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z]*'
+curl -sf "$BASE/v1/graphs/coauth/neighbors?v=1" | head -c 200; echo
+curl -sf -X POST "$BASE/v1/db/AuthorPub/delete" -d '{"row": [2, 99991]}'; echo
 
 echo "== recursive program session: transitive co-authorship reachability =="
-curl -sf -X POST "$BASE/graphs" -d '{
+curl -sf -X POST "$BASE/v1/graphs" -d '{
   "name": "reach",
   "program": "Coauthor(A, B) :- AuthorPub(A, P), AuthorPub(B, P), A != B, A < 150, B < 150. Reach(A, B) :- Coauthor(A, B). Reach(A, C) :- Reach(A, B), Coauthor(B, C). Nodes(ID, Name) :- Author(ID, Name). Edges(A, B) :- Reach(A, B)."
 }' | head -c 500; echo
-curl -sf "$BASE/graphs/reach/stats" | grep -o '"derived_tuples": [0-9]*'
-curl -sf "$BASE/graphs/reach/analyze/components" | head -c 300; echo
-# program sessions are static-only: live=true is rejected with a clear error
-curl -s -X POST "$BASE/graphs" -d '{"name": "reach-live", "live": true,
+curl -sf "$BASE/v1/graphs/reach/stats" | grep -o '"derived_tuples": [0-9]*'
+curl -sf "$BASE/v1/graphs/reach/analyze/components" | head -c 300; echo
+# program sessions are static-only: live=true is rejected with the
+# structured error envelope (stable "code", human-readable "message")
+curl -s -X POST "$BASE/v1/graphs" -d '{"name": "reach-live", "live": true,
   "program": "Nodes(A) :- Author(A, _). Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P)."}' \
-  | grep -o '"error": "[^"]*"'
+  | grep -o '"code": "[^"]*"'
 
 echo "== metrics =="
-curl -sf "$BASE/metrics" | head -c 600; echo
-curl -sf "$BASE/metrics" | grep -o '"programs": [0-9]*'
+curl -sf "$BASE/v1/metrics" | head -c 600; echo
+curl -sf "$BASE/v1/metrics" | grep -o '"programs": [0-9]*'
 
 echo "== clean up =="
-curl -sf -X DELETE "$BASE/graphs/coauth"; echo
-curl -sf -X DELETE "$BASE/graphs/reach"; echo
+curl -sf -X DELETE "$BASE/v1/graphs/coauth"; echo
+curl -sf -X DELETE "$BASE/v1/graphs/reach"; echo
 
 echo "== sustained load against a social-network daemon (cmd/graphload) =="
 # A second daemon serving the LDBC-style SNB dataset; graphload creates
@@ -65,7 +66,7 @@ SNB_ADDR="127.0.0.1:18081"
 SNB_DAEMON=$!
 trap 'kill $DAEMON $SNB_DAEMON 2>/dev/null || true' EXIT
 for _ in $(seq 1 50); do
-  curl -sf "http://$SNB_ADDR/healthz" >/dev/null 2>&1 && break
+  curl -sf "http://$SNB_ADDR/v1/healthz" >/dev/null 2>&1 && break
   sleep 0.1
 done
 go run ./cmd/graphload -addr "$SNB_ADDR" -duration 3s -clients 4 \

@@ -13,6 +13,8 @@
 //     and the worker-pool merge paths) must not read wall clocks, use the
 //     global math/rand source, or feed ordered appends from map iteration
 //   - lockedreturn: a return must not leak a held sync.Mutex/RWMutex
+//   - iterclose:   a row iterator acquired in relstore/extract/datalogeval
+//     must be closed or handed off (consumer call, return, store)
 //
 // Each analyzer inspects one type-checked package at a time (a Pass) and
 // reports diagnostics. RunAnalyzers applies the suppression policy: a
@@ -200,6 +202,7 @@ func RunAnalyzers(pkgs []*Package, as []*Analyzer) ([]Diagnostic, error) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
+		IterCloseAnalyzer,
 		KeyencodeAnalyzer,
 		LockedReturnAnalyzer,
 		LockOrderAnalyzer,

@@ -50,6 +50,19 @@ func TestDeterminismScoped(t *testing.T) {
 	}
 }
 
+func TestIterClose(t *testing.T) {
+	lintest.Run(t, analyzers.IterCloseAnalyzer, "graphgen/internal/relstore", "testdata/src/iterclose/flagged")
+	lintest.Run(t, analyzers.IterCloseAnalyzer, "graphgen/internal/relstore", "testdata/src/iterclose/clean")
+}
+
+// TestIterCloseScoped: outside the streaming packages the analyzer stays
+// silent, even on leaky code.
+func TestIterCloseScoped(t *testing.T) {
+	if diags := lintest.Diagnostics(t, analyzers.IterCloseAnalyzer, "graphgen/internal/fixture", "testdata/src/iterclose/flagged"); len(diags) != 0 {
+		t.Fatalf("iterclose fired outside relstore/extract/datalogeval: %v", diags)
+	}
+}
+
 func TestLockedReturn(t *testing.T) {
 	lintest.Run(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/lockedreturn/flagged")
 	lintest.Run(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/lockedreturn/clean")
@@ -88,10 +101,10 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
-// TestAllStable pins the suite composition: five analyzers, stable order,
+// TestAllStable pins the suite composition: six analyzers, stable order,
 // unique names — the names are part of the lint:ignore contract.
 func TestAllStable(t *testing.T) {
-	want := []string{"determinism", "keyencode", "lockedreturn", "lockorder", "notifyorder"}
+	want := []string{"determinism", "iterclose", "keyencode", "lockedreturn", "lockorder", "notifyorder"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

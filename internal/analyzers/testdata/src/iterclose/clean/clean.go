@@ -1,0 +1,109 @@
+// Every discharge shape the iterator contract allows: a direct Close,
+// a deferred Close, a consumer call, a return, a store into a struct,
+// and a capture by a cleanup closure.
+package fixture
+
+type row []int
+
+type fakeIter struct {
+	rows []row
+	pos  int
+}
+
+func (f *fakeIter) Cols() []string { return nil }
+
+func (f *fakeIter) Next() (row, bool, error) {
+	if f.pos >= len(f.rows) {
+		return nil, false, nil
+	}
+	f.pos++
+	return f.rows[f.pos-1], true, nil
+}
+
+func (f *fakeIter) Close() error { return nil }
+
+func newIter() *fakeIter { return &fakeIter{} }
+
+func newIterErr() (*fakeIter, error) { return &fakeIter{}, nil }
+
+func collect(it *fakeIter) []row {
+	defer it.Close()
+	var out []row
+	for {
+		r, ok, _ := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// deferredClose is the standard drain shape.
+func deferredClose() int {
+	it := newIter()
+	defer it.Close()
+	n := 0
+	for {
+		_, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// errCheckThenClose: the error-check return before the Close is fine —
+// a failed constructor hands back no iterator to leak.
+func errCheckThenClose() (int, error) {
+	it, err := newIterErr()
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	return len(it.rows), nil
+}
+
+// handedToConsumer discharges by passing the iterator to a call that
+// owns it.
+func handedToConsumer() []row {
+	it := newIter()
+	return collect(it)
+}
+
+// returned hands the obligation to the caller.
+func returned() *fakeIter {
+	it := newIter()
+	it.pos = 0
+	return it
+}
+
+// stored parks the iterator in a struct whose owner closes it later.
+type holder struct{ src *fakeIter }
+
+func stored() *holder {
+	it := newIter()
+	return &holder{src: it}
+}
+
+// closureCleanup captures the iterator in a deferred closure.
+func closureCleanup() int {
+	it := newIter()
+	defer func() { _ = it.Close() }()
+	_, ok, _ := it.Next()
+	if !ok {
+		return 0
+	}
+	return 1
+}
+
+// explicitCloseOnBranch closes on both paths by hand.
+func explicitCloseOnBranch(fail bool) error {
+	it := newIter()
+	if fail {
+		return it.Close()
+	}
+	_, _, err := it.Next()
+	it.Close()
+	return err
+}

@@ -1,0 +1,67 @@
+// Row iterators acquired and then abandoned: drained without Close,
+// or dropped on an early exit with no handoff.
+package fixture
+
+type row []int
+
+// fakeIter has the RowIter shape; detection is structural, so the
+// fixture needs no relstore import.
+type fakeIter struct {
+	rows []row
+	pos  int
+}
+
+func (f *fakeIter) Cols() []string { return nil }
+
+func (f *fakeIter) Next() (row, bool, error) {
+	if f.pos >= len(f.rows) {
+		return nil, false, nil
+	}
+	f.pos++
+	return f.rows[f.pos-1], true, nil
+}
+
+func (f *fakeIter) Close() error { return nil }
+
+func newIter() *fakeIter { return &fakeIter{} }
+
+// drainLeak loops the iterator dry and forgets the Close — the classic
+// leak this analyzer exists for.
+func drainLeak() int {
+	it := newIter() // want `iterclose: iterator it is acquired but never closed or handed off`
+	n := 0
+	for {
+		_, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// peekLeak reads one row and walks away.
+func peekLeak() (row, bool) {
+	it := newIter() // want `iterclose: iterator it is acquired but never closed or handed off`
+	r, ok, _ := it.Next()
+	return r, ok
+}
+
+// reassignedLeak closes one arm but only drains the other: the second
+// acquisition has no discharging use after it.
+func reassignedLeak(pick bool) int {
+	a := newIter()
+	defer a.Close()
+	if pick {
+		b := newIter() // want `iterclose: iterator b is acquired but never closed or handed off`
+		n := 0
+		for {
+			_, ok, _ := b.Next()
+			if !ok {
+				return n
+			}
+			n++
+		}
+	}
+	return 0
+}

@@ -4,16 +4,26 @@ import (
 	"fmt"
 
 	"graphgen/internal/datalog"
-	"graphgen/internal/parallel"
 	"graphgen/internal/relstore"
 )
 
-// This file evaluates one rule body: scan each positive atom (optionally
-// substituting the semi-naive delta for one occurrence), hash-join the
-// scans on their shared variables through the worker pool, filter with
-// comparison literals as soon as their variables are bound, and finish
-// with anti-joins for the negated atoms. The result keeps one column per
-// distinct body variable; insert projects it onto the head.
+// This file evaluates one rule body as a fused pull-based pipeline: scan
+// each positive atom (optionally substituting the semi-naive delta for one
+// occurrence), stream hash joins on the shared variables through the
+// worker pool, filter with comparison literals as soon as their variables
+// are bound, and finish with anti-join filters for the negated atoms. The
+// stream keeps one column per distinct body variable; insert drains it,
+// projecting onto the head — the single materialization boundary of a
+// delta round, so intermediates no longer accumulate as whole relations.
+//
+// Sources capture their row-slice headers before the first output row, so
+// a recursive body evaluates against the pre-insert state of its own head
+// table even while insert is appending to it — the same snapshot the old
+// materialize-then-insert sequencing provided.
+//
+// Options.NoStream interposes a tracked materialization after every
+// operator (the old operator-at-a-time execution, exactly); it is the
+// equivalence oracle and the peak-memory baseline.
 
 // atomPattern is the compiled term pattern of one atom against a table
 // schema: constant selections, repeated-variable equality filters, and the
@@ -127,17 +137,18 @@ func (ev *evaluator) compileNegation(neg datalog.Atom) (*negPattern, error) {
 	return np, nil
 }
 
-// evalRuleBody evaluates the positive/comparison/negation body of a
-// compiled rule. deltaOcc >= 0 substitutes deltaRows for that
-// positive-atom occurrence (the semi-naive rewriting); -1 evaluates
-// against the full relations.
-func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]relstore.Value) (*relstore.Rel, error) {
+// evalRuleBody builds the streaming pipeline for the
+// positive/comparison/negation body of a compiled rule and returns its
+// head iterator (the caller — insert — drains and closes it). deltaOcc
+// >= 0 substitutes deltaRows for that positive-atom occurrence (the
+// semi-naive rewriting); -1 evaluates against the full relations.
+func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]relstore.Value) (relstore.RowIter, error) {
 	rule := cr.rule
 	if len(rule.Body) == 0 {
 		return nil, fmt.Errorf("datalogeval: line %d col %d: rule for %q has no positive atoms", rule.Line, rule.Col, rule.Head.Pred)
 	}
-	workers := ev.opts.Workers
-	scan := func(i int) (*relstore.Rel, error) {
+	exec := ev.exec()
+	scan := func(i int) (relstore.RowIter, error) {
 		atom := rule.Body[i]
 		t, err := ev.db.Table(atom.Pred)
 		if err != nil {
@@ -148,66 +159,51 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 			return nil, err
 		}
 		if i == deltaOcc {
-			return patternRel(p, deltaRows, workers)
+			return relstore.NewSelect(deltaRows, p.scanPreds(), p.equalities, p.cols, p.names, exec), nil
 		}
-		// Full-relation occurrence: let the planner cost an index bucket
-		// lookup against the parallel scan (identical output either way).
-		if !ev.opts.NoIndex && len(p.equalities) == 0 {
-			return relstore.ScanAuto(t, p.scanPreds(), p.cols, p.names, workers)
+		// Full-relation occurrence: NewScan costs an index bucket lookup
+		// against the parallel table walk (identical output either way).
+		if len(p.equalities) == 0 {
+			return relstore.NewScan(t, p.scanPreds(), p.cols, p.names, exec)
 		}
-		return patternRel(p, t.Rows, workers)
+		return relstore.NewSelect(t.Rows, p.scanPreds(), p.equalities, p.cols, p.names, exec), nil
 	}
-	// joinNext joins cur with body atom i on the shared variables,
-	// probing the table's persistent hash index instead of scanning and
-	// building a throwaway hash table when the join is on a single
-	// variable whose column is indexed and the accumulated relation is
-	// small next to the column's distinct count (the same cost rule the
-	// extraction planner uses). Delta occurrences never take the index
-	// path: their row source is the delta slice, not the table. The
-	// pattern is compiled once and shared by the index probe and the scan
-	// fallback.
-	joinNext := func(cur *relstore.Rel, i int, shared []string) (*relstore.Rel, error) {
-		var rel *relstore.Rel
-		if i == deltaOcc {
-			var err error
-			if rel, err = scan(i); err != nil {
-				return nil, err
-			}
-		} else {
+	// joinNext extends the pipeline with body atom i joined on the shared
+	// variables. Full-relation occurrences without repeated variables go
+	// through NewTableJoin, which defers the persistent-index-vs-scan
+	// choice (the same cost rule the extraction planner uses: the index
+	// wins when the accumulated side is small next to the column's
+	// distinct count) until the accumulated side has drained. Delta
+	// occurrences never take the index path: their row source is the
+	// delta slice, not the table.
+	joinNext := func(cur relstore.RowIter, i int, shared []string) (relstore.RowIter, error) {
+		if i != deltaOcc && len(shared) > 0 {
 			atom := rule.Body[i]
 			t, err := ev.db.Table(atom.Pred)
 			if err != nil {
+				cur.Close()
 				return nil, err
 			}
 			p, err := compilePattern(atom, t)
 			if err != nil {
+				cur.Close()
 				return nil, err
 			}
-			if !ev.opts.NoIndex && len(p.equalities) == 0 {
-				if len(shared) == 1 {
-					for k, name := range p.names {
-						if name != shared[0] {
-							continue
-						}
-						if ix := t.Index(t.Cols[p.cols[k]].Name); ix != nil && 2*len(cur.Rows) <= ix.NKeys() {
-							return relstore.IndexedJoin(cur, shared[0], t, p.scanPreds(), p.cols, p.names, workers)
-						}
-						break
-					}
-				}
-				if rel, err = relstore.ScanAuto(t, p.scanPreds(), p.cols, p.names, workers); err != nil {
-					return nil, err
-				}
-			} else if rel, err = patternRel(p, t.Rows, workers); err != nil {
-				return nil, err
+			if len(p.equalities) == 0 {
+				return relstore.NewTableJoin(cur, t, p.scanPreds(), p.cols, p.names, shared, exec)
 			}
+		}
+		rel, err := scan(i)
+		if err != nil {
+			cur.Close()
+			return nil, err
 		}
 		if len(shared) == 0 {
 			// Disconnected body: an explicit cross product (the planner
 			// invariant that every equi-join names its shared columns).
-			return relstore.CrossWorkers(cur, rel, workers)
+			return relstore.NewCross(cur, rel, exec), nil
 		}
-		return relstore.MultiJoinWorkers(cur, rel, shared, workers)
+		return relstore.NewJoin(cur, rel, shared, exec)
 	}
 
 	// Join order: start from the delta occurrence (it is the small side
@@ -222,6 +218,9 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 	if err != nil {
 		return nil, err
 	}
+	if cur, err = ev.stage(cur, rule, false); err != nil {
+		return nil, err
+	}
 	pending := make([]int, 0, len(rule.Body)-1)
 	for i := range rule.Body {
 		if i != first {
@@ -229,14 +228,20 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 		}
 	}
 	compsLeft := append([]datalog.Comparison(nil), rule.Comps...)
-	if cur, compsLeft, err = applyReadyComps(cur, compsLeft, workers); err != nil {
+	var applied bool
+	if cur, compsLeft, applied, err = applyReadyComps(cur, compsLeft, exec); err != nil {
 		return nil, err
+	}
+	if applied {
+		if cur, err = ev.stage(cur, rule, false); err != nil {
+			return nil, err
+		}
 	}
 	for len(pending) > 0 {
 		picked := -1
 		var shared []string
 		for k, i := range pending {
-			if s := sharedVars(cur, rule.Body[i]); len(s) > 0 {
+			if s := sharedVars(cur.Cols(), rule.Body[i]); len(s) > 0 {
 				picked, shared = k, s
 				break
 			}
@@ -248,23 +253,93 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 			return nil, err
 		}
 		pending = append(pending[:picked], pending[picked+1:]...)
-		if cur, compsLeft, err = applyReadyComps(cur, compsLeft, workers); err != nil {
+		if cur, compsLeft, applied, err = applyReadyComps(cur, compsLeft, exec); err != nil {
 			return nil, err
 		}
-		if err := ev.checkIntermediate(rule, cur); err != nil {
+		_ = applied
+		// The intermediate budget guards every post-join stage: the
+		// NoStream oracle checks the staged cardinality, the streaming
+		// path counts rows as they flow.
+		if cur, err = ev.stage(cur, rule, true); err != nil {
 			return nil, err
 		}
 	}
 	if len(compsLeft) > 0 {
 		c := compsLeft[0]
+		cur.Close()
 		return nil, fmt.Errorf("datalogeval: line %d col %d: comparison %s over variables the body never binds", c.Line, c.Col, c)
 	}
 	for _, np := range cr.negs {
-		if cur, err = applyNegation(cur, np, workers); err != nil {
+		if cur, err = applyNegation(cur, np, exec); err != nil {
 			return nil, err
+		}
+		if ev.opts.NoStream {
+			if cur, err = ev.stage(cur, rule, false); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return cur, nil
+}
+
+// exec maps the evaluator options onto the operator execution knobs.
+func (ev *evaluator) exec() relstore.ExecOpts {
+	mode := relstore.IndexAuto
+	if ev.opts.NoIndex {
+		mode = relstore.IndexOff
+	}
+	return relstore.ExecOpts{Workers: ev.opts.Workers, UseIndex: mode, Tracker: ev.tracker}
+}
+
+// stage is the per-operator boundary. In NoStream mode it materializes
+// the pipeline head (tracking the staged rows until the next stage drains
+// them) and, when check is set, enforces the intermediate budget on the
+// staged cardinality — the old operator-at-a-time behavior, exactly. In
+// the streaming default it only arms the budget guard, which counts rows
+// as they flow instead.
+func (ev *evaluator) stage(cur relstore.RowIter, rule datalog.Rule, check bool) (relstore.RowIter, error) {
+	max := ev.opts.MaxDerivedTuples
+	if !ev.opts.NoStream {
+		if check && max > 0 {
+			return &budgetIter{RowIter: cur, rule: rule, limit: intermediateBudgetFactor * max}, nil
+		}
+		return cur, nil
+	}
+	rel, err := relstore.Collect(cur)
+	if err != nil {
+		return nil, err
+	}
+	if check && max > 0 && int64(len(rel.Rows)) > intermediateBudgetFactor*max {
+		return nil, budgetErr(rule, int64(len(rel.Rows)), max)
+	}
+	return relstore.IterRelTracked(rel, ev.tracker), nil
+}
+
+// budgetIter enforces the intermediate-rows budget on a streaming stage:
+// it fails the stream as soon as more rows flow through than the budget
+// allows, so an exploding join dies at the guard instead of exhausting
+// memory downstream.
+type budgetIter struct {
+	relstore.RowIter
+	rule  datalog.Rule
+	limit int64
+	n     int64
+}
+
+func (it *budgetIter) Next() (relstore.Row, bool, error) {
+	row, ok, err := it.RowIter.Next()
+	if ok {
+		it.n++
+		if it.n > it.limit {
+			return nil, false, budgetErr(it.rule, it.n, it.limit/intermediateBudgetFactor)
+		}
+	}
+	return row, ok, err
+}
+
+func budgetErr(rule datalog.Rule, n, max int64) error {
+	return fmt.Errorf("%w: rule for %q materialized %d intermediate rows (budget %d x %d)",
+		ErrTooManyDerived, rule.Head.Pred, n, intermediateBudgetFactor, max)
 }
 
 // intermediateBudgetFactor scales MaxDerivedTuples into a bound on the
@@ -276,65 +351,38 @@ func (ev *evaluator) evalRuleBody(cr *compiledRule, deltaOcc int, deltaRows [][]
 // while holding its database lock.
 const intermediateBudgetFactor = 16
 
-// checkIntermediate enforces the materialization budget on the rows a
-// rule body holds between joins (the derived-tuple budget itself is
-// enforced at insert time).
-func (ev *evaluator) checkIntermediate(rule datalog.Rule, cur *relstore.Rel) error {
-	max := ev.opts.MaxDerivedTuples
-	if max <= 0 {
-		return nil
-	}
-	if int64(len(cur.Rows)) > intermediateBudgetFactor*max {
-		return fmt.Errorf("%w: rule for %q materialized %d intermediate rows (budget %d x %d)",
-			ErrTooManyDerived, rule.Head.Pred, len(cur.Rows), intermediateBudgetFactor, max)
-	}
-	return nil
-}
-
-func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
+func sharedVars(cols []string, a datalog.Atom) []string {
 	var out []string
 	for _, v := range a.Vars() {
-		if _, ok := r.ColIndex(v); ok {
-			out = append(out, v)
+		for _, c := range cols {
+			if c == v {
+				out = append(out, v)
+				break
+			}
 		}
 	}
 	return out
 }
 
-// patternRel turns a compiled atom pattern over a row source into a
-// relation: constant terms select, repeated variables filter, variable
-// positions project under their variable names. The row loop fans out
-// through the worker pool with a chunk-ordered merge.
-func patternRel(p *atomPattern, rows [][]relstore.Value, workers int) (*relstore.Rel, error) {
-	out := &relstore.Rel{Cols: p.names}
-	chunks := parallel.MapChunks(len(rows), workers, 0, func(lo, hi int) [][]relstore.Value {
-		var sel [][]relstore.Value
-		for _, row := range rows[lo:hi] {
-			if !p.matches(row) {
-				continue
-			}
-			proj := make([]relstore.Value, len(p.cols))
-			for k, c := range p.cols {
-				proj[k] = row[c]
-			}
-			sel = append(sel, proj)
-		}
-		return sel
-	})
-	out.Rows = mergeChunks(chunks)
-	return out, nil
-}
-
-// applyReadyComps filters the relation with every comparison whose
+// applyReadyComps filters the stream with every comparison whose
 // variables are all bound, returning the comparisons still waiting for a
-// join to bind their variables.
-func applyReadyComps(cur *relstore.Rel, comps []datalog.Comparison, workers int) (*relstore.Rel, []datalog.Comparison, error) {
+// join to bind their variables and whether a filter was applied.
+func applyReadyComps(cur relstore.RowIter, comps []datalog.Comparison, exec relstore.ExecOpts) (relstore.RowIter, []datalog.Comparison, bool, error) {
+	cols := cur.Cols()
+	colIndex := func(name string) (int, bool) {
+		for j, c := range cols {
+			if c == name {
+				return j, true
+			}
+		}
+		return 0, false
+	}
 	var ready []datalog.Comparison
 	var waiting []datalog.Comparison
 	for _, c := range comps {
 		ok := true
 		for _, v := range c.Vars() {
-			if _, bound := cur.ColIndex(v); !bound {
+			if _, bound := colIndex(v); !bound {
 				ok = false
 				break
 			}
@@ -346,7 +394,7 @@ func applyReadyComps(cur *relstore.Rel, comps []datalog.Comparison, workers int)
 		}
 	}
 	if len(ready) == 0 {
-		return cur, waiting, nil
+		return cur, waiting, false, nil
 	}
 	type operand struct {
 		col int // -1: constant
@@ -359,7 +407,7 @@ func applyReadyComps(cur *relstore.Rel, comps []datalog.Comparison, workers int)
 	compile := func(t datalog.Term) (operand, error) {
 		switch t.Kind {
 		case datalog.TermVar:
-			j, _ := cur.ColIndex(t.Var)
+			j, _ := colIndex(t.Var)
 			return operand{col: j}, nil
 		case datalog.TermInt:
 			return operand{col: -1, val: relstore.IntVal(t.Int)}, nil
@@ -373,15 +421,17 @@ func applyReadyComps(cur *relstore.Rel, comps []datalog.Comparison, workers int)
 	for i, c := range ready {
 		l, err := compile(c.L)
 		if err != nil {
-			return nil, nil, err
+			cur.Close()
+			return nil, nil, false, err
 		}
 		r, err := compile(c.R)
 		if err != nil {
-			return nil, nil, err
+			cur.Close()
+			return nil, nil, false, err
 		}
 		cs[i] = compiled{op: c.Op, l: l, r: r}
 	}
-	eval := func(row []relstore.Value) bool {
+	keep := func(row []relstore.Value) bool {
 		for _, c := range cs {
 			l, r := c.l.val, c.r.val
 			if c.l.col >= 0 {
@@ -396,16 +446,7 @@ func applyReadyComps(cur *relstore.Rel, comps []datalog.Comparison, workers int)
 		}
 		return true
 	}
-	chunks := parallel.MapChunks(len(cur.Rows), workers, 0, func(lo, hi int) [][]relstore.Value {
-		var sel [][]relstore.Value
-		for _, row := range cur.Rows[lo:hi] {
-			if eval(row) {
-				sel = append(sel, row)
-			}
-		}
-		return sel
-	})
-	return &relstore.Rel{Cols: cur.Cols, Rows: mergeChunks(chunks)}, waiting, nil
+	return relstore.NewFilter(cur, exec, keep), waiting, true, nil
 }
 
 // holds interprets a comparison operator over a Compare result.
@@ -426,14 +467,22 @@ func holds(op datalog.CompOp, cmp int) bool {
 	}
 }
 
-// applyNegation anti-joins the relation against a precompiled negated
+// applyNegation anti-joins the stream against a precompiled negated
 // atom: a row survives when no tuple of the negated predicate matches the
 // atom's pattern under the row's bindings.
-func applyNegation(cur *relstore.Rel, np *negPattern, workers int) (*relstore.Rel, error) {
+func applyNegation(cur relstore.RowIter, np *negPattern, exec relstore.ExecOpts) (relstore.RowIter, error) {
+	cols := cur.Cols()
 	curCols := make([]int, len(np.names))
 	for k, v := range np.names {
-		j, ok := cur.ColIndex(v)
-		if !ok {
+		j := -1
+		for c, name := range cols {
+			if name == v {
+				j = c
+				break
+			}
+		}
+		if j < 0 {
+			cur.Close()
 			return nil, fmt.Errorf("datalogeval: line %d col %d: unsafe negation: variable %q in %s is unbound", np.atom.Line, np.atom.Col, v, np.atom)
 		}
 		curCols[k] = j
@@ -441,40 +490,17 @@ func applyNegation(cur *relstore.Rel, np *negPattern, workers int) (*relstore.Re
 	if len(curCols) == 0 {
 		// Fully ground negated atom: it either kills every row or none.
 		if len(np.exists) > 0 {
-			return &relstore.Rel{Cols: cur.Cols}, nil
+			cur.Close()
+			return relstore.IterRows(cols, nil), nil
 		}
 		return cur, nil
 	}
-	chunks := parallel.MapChunks(len(cur.Rows), workers, 0, func(lo, hi int) [][]relstore.Value {
-		var sel [][]relstore.Value
+	return relstore.NewFilter(cur, exec, func(row []relstore.Value) bool {
 		key := make([]relstore.Value, len(curCols))
-		for _, row := range cur.Rows[lo:hi] {
-			for k, c := range curCols {
-				key[k] = row[c]
-			}
-			if _, hit := np.exists[rowKey(key)]; !hit {
-				sel = append(sel, row)
-			}
+		for k, c := range curCols {
+			key[k] = row[c]
 		}
-		return sel
-	})
-	return &relstore.Rel{Cols: cur.Cols, Rows: mergeChunks(chunks)}, nil
-}
-
-func mergeChunks(chunks [][][]relstore.Value) [][]relstore.Value {
-	switch len(chunks) {
-	case 0:
-		return nil
-	case 1:
-		return chunks[0]
-	}
-	total := 0
-	for _, c := range chunks {
-		total += len(c)
-	}
-	out := make([][]relstore.Value, 0, total)
-	for _, c := range chunks {
-		out = append(out, c...)
-	}
-	return out
+		_, hit := np.exists[rowKey(key)]
+		return !hit
+	}), nil
 }

@@ -60,6 +60,13 @@ type Options struct {
 	// never chosen. Results are identical either way; the switch exists
 	// for controlled comparisons and mirrors extract.Options.NoIndex.
 	NoIndex bool
+	// NoStream routes every rule-body evaluation through the legacy
+	// operator-at-a-time materializing execution (a full relation after
+	// every operator) instead of the fused streaming pipeline. Results
+	// are identical row for row; the switch exists as the equivalence
+	// oracle and the peak-memory benchmark baseline, mirroring
+	// extract.Options.NoStream.
+	NoStream bool
 }
 
 // Stats describes one program evaluation.
@@ -76,7 +83,12 @@ type Stats struct {
 	DerivedTuples int64
 	// TempTables is the number of temporary tables created.
 	TempTables int
-	Duration   time.Duration
+	// PeakIntermediateRows is the high-water mark of operator-held
+	// intermediate rows across all rule-body pipelines: join build
+	// sides and negation/index gathers on the streaming path, whole
+	// staged relations under Options.NoStream.
+	PeakIntermediateRows int64
+	Duration             time.Duration
 }
 
 // Result is an evaluated program: the overlay database holding base tables
@@ -123,7 +135,7 @@ func Evaluate(base *relstore.DB, ps *datalog.ProgramSet, opts Options) (*Result,
 			return nil, err
 		}
 	}
-	ev := &evaluator{db: ov, opts: opts, sets: make(map[string]map[string]struct{})}
+	ev := &evaluator{db: ov, opts: opts, sets: make(map[string]map[string]struct{}), tracker: relstore.NewTracker()}
 	if err := ev.checkPredicates(ps); err != nil {
 		return nil, err
 	}
@@ -146,6 +158,7 @@ func Evaluate(base *relstore.DB, ps *datalog.ProgramSet, opts Options) (*Result,
 			return nil, err
 		}
 	}
+	ev.stats.PeakIntermediateRows = ev.tracker.Peak()
 	ev.stats.Duration = time.Since(start)
 	return &Result{
 		DB:      ov,
@@ -159,8 +172,11 @@ type evaluator struct {
 	opts Options
 	// sets deduplicates each derived table's tuples (keyed by lowercased
 	// predicate name).
-	sets  map[string]map[string]struct{}
-	stats Stats
+	sets map[string]map[string]struct{}
+	// tracker accounts peak operator-held intermediate rows across every
+	// rule-body pipeline of the evaluation.
+	tracker *relstore.Tracker
+	stats   Stats
 }
 
 // desugarExtraction rewrites Nodes/Edges statements whose bodies use
@@ -397,11 +413,11 @@ func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
 	// tables empty, lower strata complete).
 	delta := make(map[string][][]relstore.Value)
 	for _, cr := range rules {
-		rel, err := ev.evalRuleBody(cr, -1, nil)
+		body, err := ev.evalRuleBody(cr, -1, nil)
 		if err != nil {
 			return err
 		}
-		fresh, err := ev.insert(cr.rule.Head, rel)
+		fresh, err := ev.insert(cr.rule.Head, body)
 		if err != nil {
 			return err
 		}
@@ -430,11 +446,11 @@ func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
 				if len(delta[dpred]) == 0 {
 					continue
 				}
-				rel, err := ev.evalRuleBody(cr, occ, delta[dpred])
+				body, err := ev.evalRuleBody(cr, occ, delta[dpred])
 				if err != nil {
 					return err
 				}
-				fresh, err := ev.insert(cr.rule.Head, rel)
+				fresh, err := ev.insert(cr.rule.Head, body)
 				if err != nil {
 					return err
 				}
@@ -453,11 +469,11 @@ func (ev *evaluator) evalStratumNaive(rules []*compiledRule) error {
 	for {
 		changed := false
 		for _, cr := range rules {
-			rel, err := ev.evalRuleBody(cr, -1, nil)
+			body, err := ev.evalRuleBody(cr, -1, nil)
 			if err != nil {
 				return err
 			}
-			fresh, err := ev.insert(cr.rule.Head, rel)
+			fresh, err := ev.insert(cr.rule.Head, body)
 			if err != nil {
 				return err
 			}
@@ -472,10 +488,13 @@ func (ev *evaluator) evalStratumNaive(rules []*compiledRule) error {
 	}
 }
 
-// insert projects the evaluated body relation onto the head terms and
-// appends the tuples not already present, returning the fresh ones (the
-// next delta).
-func (ev *evaluator) insert(head datalog.Atom, rel *relstore.Rel) ([][]relstore.Value, error) {
+// insert drains the evaluated body pipeline, projecting each row onto
+// the head terms and appending the tuples not already present, and
+// returns the fresh ones (the next delta). It closes the pipeline on
+// every path — this is the single materialization boundary of a rule
+// evaluation, and only distinct head tuples ever materialize.
+func (ev *evaluator) insert(head datalog.Atom, body relstore.RowIter) ([][]relstore.Value, error) {
+	defer body.Close()
 	pred := strings.ToLower(head.Pred)
 	t, err := ev.db.Table(pred)
 	if err != nil {
@@ -486,7 +505,7 @@ func (ev *evaluator) insert(head datalog.Atom, rel *relstore.Rel) ([][]relstore.
 	for i, term := range head.Terms {
 		switch term.Kind {
 		case datalog.TermVar:
-			j, ok := rel.ColIndex(term.Var)
+			j, ok := bodyColIndex(body.Cols(), term.Var)
 			if !ok {
 				return nil, fmt.Errorf("datalogeval: head variable %q not bound by rule body (rule for %q)", term.Var, head.Pred)
 			}
@@ -503,7 +522,14 @@ func (ev *evaluator) insert(head datalog.Atom, rel *relstore.Rel) ([][]relstore.
 	}
 	set := ev.sets[pred]
 	var fresh [][]relstore.Value
-	for _, row := range rel.Rows {
+	for {
+		row, ok, err := body.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		out := make([]relstore.Value, len(head.Terms))
 		for i := range out {
 			if idx[i] < 0 {
@@ -527,6 +553,17 @@ func (ev *evaluator) insert(head datalog.Atom, rel *relstore.Rel) ([][]relstore.
 		fresh = append(fresh, out)
 	}
 	return fresh, nil
+}
+
+// bodyColIndex resolves a variable in a pipeline schema (exact match —
+// Datalog variables are case-sensitive).
+func bodyColIndex(cols []string, name string) (int, bool) {
+	for i, c := range cols {
+		if c == name {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // rowKey encodes a tuple unambiguously via the shared

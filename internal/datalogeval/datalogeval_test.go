@@ -700,3 +700,34 @@ func TestIndexedSemiNaiveAgainstNaive(t *testing.T) {
 		t.Fatal("indexed semi-naive TC differs from unindexed naive TC")
 	}
 }
+
+// TestNoStreamEquivalence runs a recursive program through the default
+// streaming pipelines and through the NoStream materializing oracle on
+// randomized graphs, crossed with the naive/index/worker switches. The
+// derived relations must match tuple for tuple, and both modes must
+// report a positive intermediate-row peak — the streaming one from
+// operator-held state, the NoStream one from whole staged relations.
+func TestNoStreamEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 15 + rng.Intn(20)
+		db := edgeDB(t, n, randomEdges(rng, n, n+rng.Intn(2*n)))
+		for _, base := range []Options{{}, {Naive: true}, {NoIndex: true}, {Workers: 4}} {
+			streaming := mustEval(t, db, tcProgram, base)
+			legacy := base
+			legacy.NoStream = true
+			materializing := mustEval(t, db, tcProgram, legacy)
+			if !equalTuples(tableTuples(t, streaming.DB, "TC"), tableTuples(t, materializing.DB, "TC")) {
+				t.Fatalf("seed %d opts %+v: NoStream computed a different TC relation", seed, base)
+			}
+			sp := streaming.Stats.PeakIntermediateRows
+			mp := materializing.Stats.PeakIntermediateRows
+			if sp <= 0 || mp <= 0 {
+				t.Fatalf("seed %d opts %+v: peak tracking dead (streaming=%d, NoStream=%d)", seed, base, sp, mp)
+			}
+			if sp > mp {
+				t.Errorf("seed %d opts %+v: streaming peak %d exceeds materializing peak %d", seed, base, sp, mp)
+			}
+		}
+	}
+}

@@ -8,27 +8,37 @@ import (
 )
 
 // This file evaluates conjunctive queries (atom lists) against the relstore
-// substrate: per-atom scans with constant selections, hash joins on all
-// shared variables, and a final distinct projection. The extraction planner
-// uses it both for the in-segment joins it "hands to the database" and for
-// Case 2 full expansion. Scans and the join probe phase run on the shared
-// worker pool (internal/parallel) with chunk-ordered merges, and the
-// planner swaps in the index-backed access paths (relstore.IndexScan /
-// relstore.IndexedJoin) when a persistent hash index is present and the
-// catalog statistics say it beats the parallel scan — every choice
-// produces an identical relation, so results do not depend on the worker
-// count or on which indexes happen to exist.
+// substrate as one fused pull-based pipeline: per-atom scans with constant
+// selections pushed into the table (or index-bucket) walk, streaming hash
+// joins on all shared variables, and a final distinct projection — the
+// single materialization boundary, where Collect produces the result Rel.
+// The extraction planner uses it both for the in-segment joins it "hands
+// to the database" and for Case 2 full expansion. Parallel stages run on
+// the shared worker pool (internal/parallel) with chunk-ordered merges,
+// and the table joins defer the index-vs-scan access-path choice until
+// the accumulated side has drained — every choice produces an identical
+// row stream, so results do not depend on the worker count or on which
+// indexes happen to exist.
+//
+// Options.NoStream interposes a materialization (relstore.Materialize)
+// after every operator, reproducing the old operator-at-a-time execution
+// exactly; it is the equivalence oracle and the peak-memory baseline for
+// the streaming default.
 
 // EvalConjunctive joins the atoms on their shared variables and projects
 // outVars. The atom list must be connected (every atom shares a variable
 // with the part already joined). opts supplies the scan/probe parallelism
-// (Workers <= 0 means GOMAXPROCS) and the NoIndex switch.
+// (Workers <= 0 means GOMAXPROCS), the NoIndex and NoStream switches, and
+// the peak-intermediate-rows Tracker.
 func EvalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, distinct bool, opts Options) (*relstore.Rel, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("extract: empty rule body")
 	}
 	cur, err := scanAtom(db, atoms[0], opts)
 	if err != nil {
+		return nil, err
+	}
+	if cur, err = stage(cur, opts); err != nil {
 		return nil, err
 	}
 	pending := make([]datalog.Atom, len(atoms)-1)
@@ -40,64 +50,80 @@ func EvalConjunctive(db *relstore.DB, atoms []datalog.Atom, outVars []string, di
 		picked := -1
 		var shared []string
 		for i, a := range pending {
-			s := sharedVars(cur, a)
+			s := sharedVars(cur.Cols(), a)
 			if len(s) > 0 {
 				picked, shared = i, s
 				break
 			}
 		}
 		if picked < 0 {
+			cur.Close()
 			return nil, fmt.Errorf("extract: rule body is disconnected (atom %s shares no variable)", pending[0])
 		}
 		cur, err = joinAtom(db, cur, pending[picked], shared, opts)
 		if err != nil {
 			return nil, err
 		}
+		if cur, err = stage(cur, opts); err != nil {
+			return nil, err
+		}
 		pending = append(pending[:picked], pending[picked+1:]...)
 	}
-	return relstore.Project(cur, outVars, distinct)
+	proj, err := relstore.NewProject(cur, outVars, distinct, execOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return relstore.Collect(proj)
 }
 
-// joinAtom joins cur with one more atom on the shared variables. When the
-// join is on a single variable whose table column carries a hash index,
-// the planner costs probing that persistent index (touching ~|cur| * N/d
-// table rows) against scanning the table and building a throwaway hash
-// table (touching all N rows): under the uniformity assumption the index
-// wins when the accumulated relation is small next to the column's
-// distinct count. Both paths produce identical output.
-func joinAtom(db *relstore.DB, cur *relstore.Rel, atom datalog.Atom, shared []string, opts Options) (*relstore.Rel, error) {
+// execOpts maps extraction options onto the operator execution knobs.
+func execOpts(opts Options) relstore.ExecOpts {
+	mode := relstore.IndexAuto
+	if opts.NoIndex {
+		mode = relstore.IndexOff
+	}
+	return relstore.ExecOpts{Workers: opts.Workers, UseIndex: mode, Tracker: opts.Tracker}
+}
+
+// stage is the NoStream oracle's boundary: it materializes the pipeline
+// head after each operator (tracking the staged rows), so peak memory is
+// the sum of intermediates exactly as in the pre-streaming engine. In the
+// streaming default it is a no-op.
+func stage(cur relstore.RowIter, opts Options) (relstore.RowIter, error) {
+	if !opts.NoStream {
+		return cur, nil
+	}
+	return relstore.Materialize(cur, opts.Tracker)
+}
+
+// joinAtom extends the pipeline with a streaming join against one more
+// atom. The common no-repeated-variable case goes through NewTableJoin,
+// which defers the planner's IndexedJoin-vs-scan choice (probing the
+// persistent index touches ~|cur| * N/d table rows versus all N for a
+// scan plus a throwaway hash table; the index wins when the accumulated
+// relation is small next to the column's distinct count) until cur has
+// drained and its exact cardinality is known. Both paths produce
+// identical output.
+func joinAtom(db *relstore.DB, cur relstore.RowIter, atom datalog.Atom, shared []string, opts Options) (relstore.RowIter, error) {
 	sc, err := compileAtomScan(db, atom)
 	if err != nil {
+		cur.Close()
 		return nil, err
 	}
-	if !opts.NoIndex && len(shared) == 1 && len(sc.equalities) == 0 {
-		if ni := indexOfName(sc.names, shared[0]); ni >= 0 {
-			if ix := sc.t.Index(sc.t.Cols[sc.cols[ni]].Name); ix != nil && 2*len(cur.Rows) <= ix.NKeys() {
-				return relstore.IndexedJoin(cur, shared[0], sc.t, sc.preds, sc.cols, sc.names, opts.Workers)
-			}
-		}
+	if len(sc.equalities) == 0 {
+		return relstore.NewTableJoin(cur, sc.t, sc.preds, sc.cols, sc.names, shared, execOpts(opts))
 	}
-	rel, err := scanCompiled(sc, opts)
-	if err != nil {
-		return nil, err
-	}
-	return relstore.MultiJoinWorkers(cur, rel, shared, opts.Workers)
+	return relstore.NewJoin(cur, scanCompiled(sc, opts), shared, execOpts(opts))
 }
 
-func indexOfName(names []string, name string) int {
-	for i, n := range names {
-		if n == name {
-			return i
-		}
-	}
-	return -1
-}
-
-func sharedVars(r *relstore.Rel, a datalog.Atom) []string {
+func sharedVars(cols []string, a datalog.Atom) []string {
 	var out []string
 	for _, v := range a.Vars() {
-		if _, ok := r.ColIndex(v); ok {
-			out = append(out, v)
+		for _, c := range cols {
+			if c == v {
+				out = append(out, v)
+				break
+			}
 		}
 	}
 	return out
@@ -147,59 +173,32 @@ func compileAtomScan(db *relstore.DB, atom datalog.Atom) (*atomScan, error) {
 	return sc, nil
 }
 
-// scanRel runs a compiled scan through the planner's access-path choice:
-// the catalog-costed ScanAuto (index vs parallel scan) unless indexing is
-// disabled.
-func scanRel(t *relstore.Table, preds []relstore.Pred, cols []int, names []string, opts Options) (*relstore.Rel, error) {
-	if opts.NoIndex {
-		return relstore.ScanWorkers(t, preds, cols, names, opts.Workers)
-	}
-	return relstore.ScanAuto(t, preds, cols, names, opts.Workers)
-}
-
-// scanCompiled materializes a compiled atom scan, handling the
-// repeated-variable case with a wide scan plus filter.
-func scanCompiled(sc *atomScan, opts Options) (*relstore.Rel, error) {
+// scanCompiled streams a compiled atom scan. Without repeated variables
+// it is a table scan under the planner's access-path choice (NewScan with
+// IndexAuto/IndexOff); with them it is a one-pass select over the table
+// rows applying predicates, equality filters, and the projection together.
+func scanCompiled(sc *atomScan, opts Options) relstore.RowIter {
 	if len(sc.equalities) == 0 {
-		return scanRel(sc.t, sc.preds, sc.cols, sc.names, opts)
-	}
-	// Repeated variable within the atom: scan wide, filter, then project.
-	all := make([]int, len(sc.t.Cols))
-	wide := make([]string, len(sc.t.Cols))
-	for i := range sc.t.Cols {
-		all[i] = i
-		wide[i] = fmt.Sprintf("#%d", i)
-	}
-	raw, err := scanRel(sc.t, sc.preds, all, wide, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := &relstore.Rel{Cols: sc.names}
-rows:
-	for _, row := range raw.Rows {
-		for _, eq := range sc.equalities {
-			if !row[eq[0]].Equal(row[eq[1]]) {
-				continue rows
-			}
+		it, err := relstore.NewScan(sc.t, sc.preds, sc.cols, sc.names, execOpts(opts))
+		if err == nil {
+			return it
 		}
-		proj := make([]relstore.Value, len(sc.cols))
-		for k, c := range sc.cols {
-			proj[k] = row[c]
-		}
-		out.Rows = append(out.Rows, proj)
+		// Compilation bounds every column index, so NewScan cannot
+		// reject the plan; fall through to the equivalent select walk.
 	}
-	return out, nil
+	return relstore.NewSelect(sc.t.Rows, sc.preds, sc.equalities, sc.cols, sc.names, execOpts(opts))
 }
 
-// scanAtom scans the atom's table, applying constant terms as selection
-// predicates and intra-atom repeated variables as equality filters, and
-// projects the variable positions under their variable names.
-func scanAtom(db *relstore.DB, atom datalog.Atom, opts Options) (*relstore.Rel, error) {
+// scanAtom opens the pipeline source for one atom: constant terms as
+// selection predicates, intra-atom repeated variables as equality
+// filters, and the projection of the distinct variable positions under
+// their variable names.
+func scanAtom(db *relstore.DB, atom datalog.Atom, opts Options) (relstore.RowIter, error) {
 	sc, err := compileAtomScan(db, atom)
 	if err != nil {
 		return nil, err
 	}
-	return scanCompiled(sc, opts)
+	return scanCompiled(sc, opts), nil
 }
 
 // EnsureIndexes walks the rules' positive bodies and creates (idempotently)

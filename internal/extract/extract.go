@@ -58,6 +58,17 @@ type Options struct {
 	// paths; the indexed and unindexed pipelines extract identical graphs,
 	// so this is purely a performance switch (and the benchmark baseline).
 	NoIndex bool
+	// NoStream routes every conjunctive evaluation through the legacy
+	// operator-at-a-time materializing execution (a full Rel after every
+	// operator) instead of the fused streaming pipeline. Both produce
+	// row-for-row identical relations; the switch exists as the
+	// equivalence oracle and the peak-memory benchmark baseline.
+	NoStream bool
+	// Tracker, when non-nil, accounts peak materialized intermediate
+	// rows across the extraction's operator pipelines (reported in
+	// Stats.PeakIntermediateRows). Extract installs one automatically
+	// when unset.
+	Tracker *relstore.Tracker
 }
 
 // DefaultOptions mirror the paper's settings.
@@ -81,7 +92,14 @@ type Stats struct {
 	// PreprocessExpanded is the number of virtual nodes inlined by the
 	// Step-6 pass.
 	PreprocessExpanded int
-	Duration           time.Duration
+	// PeakIntermediateRows is the high-water mark of operator-held
+	// intermediate rows across the extraction's relational pipelines:
+	// join build sides, distinct seen-sets, and index-bucket gathers on
+	// the streaming path, or whole staged relations under
+	// Options.NoStream. Final query outputs are excluded on both paths,
+	// so the two modes compare like for like.
+	PeakIntermediateRows int64
+	Duration             time.Duration
 }
 
 // Result bundles the extracted graph with its statistics.
@@ -97,6 +115,9 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 	start := time.Now()
 	if opts.LargeOutputFactor <= 0 {
 		opts.LargeOutputFactor = 2
+	}
+	if opts.Tracker == nil {
+		opts.Tracker = relstore.NewTracker()
 	}
 	g := core.New(core.CDUP)
 	g.SelfLoops = opts.SelfLoops
@@ -157,6 +178,7 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 	res.Stats.RealNodes = g.NumRealNodes()
 	res.Stats.VirtualNodes = g.NumVirtualNodes()
 	res.Stats.RepEdges = g.RepEdges()
+	res.Stats.PeakIntermediateRows = opts.Tracker.Peak()
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }

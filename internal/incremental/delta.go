@@ -24,12 +24,13 @@ import (
 // state: the pre-update view re-adds one copy of a deleted tuple and drops
 // one copy of an inserted tuple.
 
-// scanAtomRows mirrors extract's atom scan over an explicit row slice:
-// constant terms are selection predicates, intra-atom repeated variables are
-// equality filters, and the surviving rows are projected onto the variable
-// positions under their variable names. binds adds variable = value
-// selection predicates — the semi-join pushdown that keeps a single-tuple
-// delta proportional to its output instead of the table size.
+// scanAtomRows compiles an atom over an explicit row slice into a
+// streaming select (relstore.NewSelect): constant terms are selection
+// predicates, intra-atom repeated variables are equality filters, and the
+// surviving rows are projected onto the variable positions under their
+// variable names. binds adds variable = value selection predicates — the
+// semi-join pushdown that keeps a single-tuple delta proportional to its
+// output instead of the table size.
 //
 // useIndex may be set only when rows is the table's own current row
 // storage (never a pre-state view rebuilt by withoutOneCopy/withOneExtra):
@@ -38,7 +39,7 @@ import (
 // single-tuple delta touches a bucket instead of the whole table. Indexes
 // are updated inside the mutation path before change-log subscribers run,
 // so the bucket reflects exactly the post-change state this path wants.
-func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, binds map[string]relstore.Value, useIndex bool) (*relstore.Rel, error) {
+func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value, binds map[string]relstore.Value, useIndex bool) (relstore.RowIter, error) {
 	if len(atom.Terms) > len(t.Cols) {
 		return nil, fmt.Errorf("incremental: atom %s has %d terms but table %s has %d columns",
 			atom, len(atom.Terms), t.Name, len(t.Cols))
@@ -84,26 +85,7 @@ func scanAtomRows(atom datalog.Atom, t *relstore.Table, rows [][]relstore.Value,
 			rows = best.Lookup(bestVal)
 		}
 	}
-	out := &relstore.Rel{Cols: names}
-rows:
-	for _, row := range rows {
-		for _, p := range consts {
-			if !row[p.Col].Equal(p.Value) {
-				continue rows
-			}
-		}
-		for _, eq := range equalities {
-			if !row[eq[0]].Equal(row[eq[1]]) {
-				continue rows
-			}
-		}
-		proj := make([]relstore.Value, len(cols))
-		for k, c := range cols {
-			proj[k] = row[c]
-		}
-		out.Rows = append(out.Rows, proj)
-	}
-	return out, nil
+	return relstore.NewSelect(rows, consts, equalities, cols, names, relstore.ExecOpts{Workers: 1}), nil
 }
 
 // withoutOneCopy returns rows minus the first copy equal to row.
@@ -137,7 +119,11 @@ func segmentDelta(atoms []datalog.Atom, tbls []*relstore.Table, inVar, outVar st
 		if tbls[i] != t {
 			continue
 		}
-		bound, err := scanAtomRows(atoms[i], t, [][]relstore.Value{row}, nil, false)
+		boundIter, err := scanAtomRows(atoms[i], t, [][]relstore.Value{row}, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := relstore.Collect(boundIter)
 		if err != nil {
 			return nil, err
 		}
@@ -194,18 +180,27 @@ func segmentDelta(atoms []datalog.Atom, tbls []*relstore.Table, inVar, outVar st
 			if err != nil {
 				return nil, err
 			}
-			joined, err := relstore.MultiJoinWorkers(cur, rel, shared, opts.Workers)
+			// Stream the scan straight into the join probe; the join
+			// output is collected because the next step's binds pushdown
+			// inspects the accumulated cardinality.
+			joined, err := relstore.NewJoin(relstore.IterRel(cur), rel, shared, relstore.ExecOpts{Workers: opts.Workers})
 			if err != nil {
 				return nil, err
 			}
-			cur = joined
+			if cur, err = relstore.Collect(joined); err != nil {
+				return nil, err
+			}
 			pending = append(pending[:picked], pending[picked+1:]...)
 		}
-		proj, err := relstore.Project(cur, []string{inVar, outVar}, false)
+		proj, err := relstore.NewProject(relstore.IterRel(cur), []string{inVar, outVar}, false, relstore.ExecOpts{Workers: 1})
 		if err != nil {
 			return nil, err
 		}
-		for _, prow := range proj.Rows {
+		pairs, err := relstore.Collect(proj)
+		if err != nil {
+			return nil, err
+		}
+		for _, prow := range pairs.Rows {
 			out = append(out, [2]relstore.Value{prow[0], prow[1]})
 		}
 	}

@@ -2,11 +2,18 @@ package relstore
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-
-	"graphgen/internal/parallel"
 )
+
+// This file holds the materialized relation type (Rel), the scan
+// validation and planner-cost helpers shared with the streaming layer
+// (iter.go), and the original operator free functions. The free functions
+// are now thin Collect wrappers over the iterator constructors — kept as
+// deprecated aliases so existing callers (and the equivalence suites that
+// serve as the streaming path's correctness oracle) migrate mechanically.
+// New code composes NewScan/NewSelect/NewJoin/NewTableJoin/NewCross/
+// NewProject with one ExecOpts instead of picking a positional-workers or
+// auto-vs-forced variant.
 
 // Rel is a materialized intermediate relation produced by the operators
 // below. Column names are caller-assigned (usually Datalog variable names).
@@ -37,6 +44,8 @@ type Pred struct {
 
 // Scan reads a table, applies equality predicates, and projects the listed
 // column indexes under the given output names.
+//
+// Deprecated: compose NewScan with Collect (ExecOpts{UseIndex: IndexOff}).
 func Scan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
 	return ScanWorkers(t, preds, cols, names, 1)
 }
@@ -64,30 +73,14 @@ func validateScan(t *Table, preds []Pred, cols []int, names []string) error {
 // ScanWorkers is Scan with the row loop partitioned across workers;
 // per-chunk outputs concatenate in chunk order, so the result is identical
 // to the serial scan for any worker count.
+//
+// Deprecated: compose NewScan with Collect (ExecOpts{UseIndex: IndexOff}).
 func ScanWorkers(t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
-	if err := validateScan(t, preds, cols, names); err != nil {
+	it, err := NewScan(t, preds, cols, names, ExecOpts{Workers: workers, UseIndex: IndexOff})
+	if err != nil {
 		return nil, err
 	}
-	out := &Rel{Cols: append([]string(nil), names...)}
-	chunks := parallel.MapChunks(len(t.Rows), workers, 0, func(lo, hi int) [][]Value {
-		var sel [][]Value
-	rows:
-		for _, row := range t.Rows[lo:hi] {
-			for _, p := range preds {
-				if !row[p.Col].Equal(p.Value) {
-					continue rows
-				}
-			}
-			proj := make([]Value, len(cols))
-			for i, c := range cols {
-				proj[i] = row[c]
-			}
-			sel = append(sel, proj)
-		}
-		return sel
-	})
-	out.Rows = concatChunks(chunks)
-	return out, nil
+	return Collect(it)
 }
 
 // HashJoin equi-joins a and b on the named columns and returns the
@@ -96,73 +89,15 @@ func ScanWorkers(t *Table, preds []Pred, cols []int, names []string, workers int
 // The output schema and row order are independent of the input
 // cardinalities: rows come out ordered by b's rows (all matches of b's
 // first row, then its second, ...), with matches of one b row in a's row
-// order — the build side is chosen internally and never leaks into the
-// result.
+// order.
+//
+// Deprecated: compose NewHashJoin with Collect.
 func HashJoin(a, b *Rel, aCol, bCol string) (*Rel, error) {
-	ai, ok := a.ColIndex(aCol)
-	if !ok {
-		return nil, fmt.Errorf("relstore: join column %q not in left relation %v", aCol, a.Cols)
+	it, err := NewHashJoin(IterRel(a), IterRel(b), aCol, bCol, ExecOpts{Workers: 1})
+	if err != nil {
+		return nil, err
 	}
-	bi, ok := b.ColIndex(bCol)
-	if !ok {
-		return nil, fmt.Errorf("relstore: join column %q not in right relation %v", bCol, b.Cols)
-	}
-	out := &Rel{Cols: append([]string(nil), a.Cols...)}
-	for i, c := range b.Cols {
-		if i == bi {
-			continue
-		}
-		out.Cols = append(out.Cols, c)
-	}
-	joinRow := func(arow, brow []Value) []Value {
-		joined := make([]Value, 0, len(out.Cols))
-		joined = append(joined, arow...)
-		for i, v := range brow {
-			if i == bi {
-				continue
-			}
-			joined = append(joined, v)
-		}
-		return joined
-	}
-	if len(b.Rows) < len(a.Rows) {
-		// Build on b (the smaller side) but keep the canonical output
-		// order: stage each probe match under its b-row index, then
-		// concatenate in b order.
-		build := make(map[string][]int, len(b.Rows))
-		for j, brow := range b.Rows {
-			k := hashKey(brow[bi])
-			build[k] = append(build[k], j)
-		}
-		perB := make([][][]Value, len(b.Rows))
-		for _, arow := range a.Rows {
-			for _, j := range build[hashKey(arow[ai])] {
-				brow := b.Rows[j]
-				if !arow[ai].Equal(brow[bi]) {
-					continue
-				}
-				perB[j] = append(perB[j], joinRow(arow, brow))
-			}
-		}
-		for _, rows := range perB {
-			out.Rows = append(out.Rows, rows...)
-		}
-		return out, nil
-	}
-	build := make(map[string][][]Value, len(a.Rows))
-	for _, row := range a.Rows {
-		k := hashKey(row[ai])
-		build[k] = append(build[k], row)
-	}
-	for _, brow := range b.Rows {
-		for _, arow := range build[hashKey(brow[bi])] {
-			if !arow[ai].Equal(brow[bi]) {
-				continue
-			}
-			out.Rows = append(out.Rows, joinRow(arow, brow))
-		}
-	}
-	return out, nil
+	return Collect(it)
 }
 
 // hashKey encodes one value for composite join/distinct keys via the
@@ -176,39 +111,11 @@ func hashKey(v Value) string {
 // Project returns the relation restricted to the named columns, optionally
 // removing duplicate rows (SELECT DISTINCT).
 func Project(r *Rel, cols []string, distinct bool) (*Rel, error) {
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		j, ok := r.ColIndex(c)
-		if !ok {
-			return nil, fmt.Errorf("relstore: project: column %q not in %v", c, r.Cols)
-		}
-		idx[i] = j
+	it, err := NewProject(IterRel(r), cols, distinct, ExecOpts{Workers: 1})
+	if err != nil {
+		return nil, err
 	}
-	out := &Rel{Cols: append([]string(nil), cols...)}
-	var seen map[string]struct{}
-	if distinct {
-		seen = make(map[string]struct{}, len(r.Rows))
-	}
-	for _, row := range r.Rows {
-		proj := make([]Value, len(idx))
-		var key strings.Builder
-		for i, j := range idx {
-			proj[i] = row[j]
-			if distinct {
-				key.WriteString(hashKey(row[j]))
-				key.WriteByte('|')
-			}
-		}
-		if distinct {
-			k := key.String()
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-		}
-		out.Rows = append(out.Rows, proj)
-	}
-	return out, nil
+	return Collect(it)
 }
 
 // MultiJoin equi-joins a and b on all listed shared column names (a
@@ -217,6 +124,8 @@ func Project(r *Rel, cols []string, distinct bool) (*Rel, error) {
 // degenerate into a full cross product (every row keyed ""), which no
 // planner path legitimately wants — callers that do mean a cross product
 // say so with CrossWorkers.
+//
+// Deprecated: compose NewJoin with Collect.
 func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
 	return MultiJoinWorkers(a, b, shared, 1)
 }
@@ -226,62 +135,14 @@ func MultiJoin(a, b *Rel, shared []string) (*Rel, error) {
 // relation — are partitioned into contiguous chunks probed concurrently,
 // and the per-chunk outputs are concatenated in chunk order. The result is
 // row-for-row identical to the serial join regardless of the worker count.
+//
+// Deprecated: compose NewJoin with Collect.
 func MultiJoinWorkers(a, b *Rel, shared []string, workers int) (*Rel, error) {
-	if len(shared) == 0 {
-		return nil, fmt.Errorf("relstore: join of %v with %v has no shared columns (use CrossWorkers for an explicit cross product)", a.Cols, b.Cols)
+	it, err := NewJoin(IterRel(a), IterRel(b), shared, ExecOpts{Workers: workers})
+	if err != nil {
+		return nil, err
 	}
-	ai := make([]int, len(shared))
-	bi := make([]int, len(shared))
-	bShared := make(map[int]bool, len(shared))
-	for k, c := range shared {
-		i, ok := a.ColIndex(c)
-		if !ok {
-			return nil, fmt.Errorf("relstore: join column %q not in left relation %v", c, a.Cols)
-		}
-		j, ok := b.ColIndex(c)
-		if !ok {
-			return nil, fmt.Errorf("relstore: join column %q not in right relation %v", c, b.Cols)
-		}
-		ai[k], bi[k] = i, j
-		bShared[j] = true
-	}
-	key := func(row []Value, idx []int) string {
-		var sb strings.Builder
-		for _, i := range idx {
-			sb.WriteString(hashKey(row[i]))
-			sb.WriteByte('|')
-		}
-		return sb.String()
-	}
-	build := make(map[string][][]Value, len(a.Rows))
-	for _, row := range a.Rows {
-		k := key(row, ai)
-		build[k] = append(build[k], row)
-	}
-	out := &Rel{Cols: append([]string(nil), a.Cols...)}
-	for j, c := range b.Cols {
-		if !bShared[j] {
-			out.Cols = append(out.Cols, c)
-		}
-	}
-	probe := func(lo, hi int) [][]Value {
-		var rows [][]Value
-		for _, brow := range b.Rows[lo:hi] {
-			for _, arow := range build[key(brow, bi)] {
-				joined := make([]Value, 0, len(out.Cols))
-				joined = append(joined, arow...)
-				for j, v := range brow {
-					if !bShared[j] {
-						joined = append(joined, v)
-					}
-				}
-				rows = append(rows, joined)
-			}
-		}
-		return rows
-	}
-	out.Rows = concatChunks(parallel.MapChunks(len(b.Rows), workers, 0, probe))
-	return out, nil
+	return Collect(it)
 }
 
 // CrossWorkers returns the cross product of a and b: a's columns followed
@@ -289,22 +150,10 @@ func MultiJoinWorkers(a, b *Rel, shared []string, workers int) (*Rel, error) {
 // rows with a's order inside each (the same order the pre-error empty-
 // shared MultiJoin produced). The probe loop over b partitions across
 // workers with a chunk-ordered merge.
+//
+// Deprecated: compose NewCross with Collect.
 func CrossWorkers(a, b *Rel, workers int) (*Rel, error) {
-	out := &Rel{Cols: append(append([]string(nil), a.Cols...), b.Cols...)}
-	chunks := parallel.MapChunks(len(b.Rows), workers, 0, func(lo, hi int) [][]Value {
-		var rows [][]Value
-		for _, brow := range b.Rows[lo:hi] {
-			for _, arow := range a.Rows {
-				joined := make([]Value, 0, len(out.Cols))
-				joined = append(joined, arow...)
-				joined = append(joined, brow...)
-				rows = append(rows, joined)
-			}
-		}
-		return rows
-	})
-	out.Rows = concatChunks(chunks)
-	return out, nil
+	return Collect(NewCross(IterRel(a), IterRel(b), ExecOpts{Workers: workers}))
 }
 
 // concatChunks merges per-chunk row slices in chunk order.
@@ -346,34 +195,14 @@ func bestIndexedPred(t *Table, preds []Pred) (*Index, int) {
 // table, applies the remaining predicates, and projects — returning
 // row-for-row exactly what ScanWorkers returns (buckets preserve table
 // order). At least one predicate column must be indexed.
+//
+// Deprecated: compose NewScan with Collect (ExecOpts{UseIndex: IndexForce}).
 func IndexScan(t *Table, preds []Pred, cols []int, names []string) (*Rel, error) {
-	if err := validateScan(t, preds, cols, names); err != nil {
+	it, err := NewScan(t, preds, cols, names, ExecOpts{UseIndex: IndexForce})
+	if err != nil {
 		return nil, err
 	}
-	ix, pi := bestIndexedPred(t, preds)
-	if ix == nil {
-		return nil, fmt.Errorf("relstore: IndexScan of %s: no index on any predicate column", t.Name)
-	}
-	out := &Rel{Cols: append([]string(nil), names...)}
-rows:
-	// The bucket key encoding is injective, so bucket membership already
-	// implies equality on the driving predicate; only the others re-check.
-	for _, row := range ix.Lookup(preds[pi].Value) {
-		for i, p := range preds {
-			if i == pi {
-				continue
-			}
-			if !row[p.Col].Equal(p.Value) {
-				continue rows
-			}
-		}
-		proj := make([]Value, len(cols))
-		for i, c := range cols {
-			proj[i] = row[c]
-		}
-		out.Rows = append(out.Rows, proj)
-	}
-	return out, nil
+	return Collect(it)
 }
 
 // ScanAuto is the planner's scan entry point: it costs the index path
@@ -383,14 +212,14 @@ rows:
 // the index wins once d exceeds the resolved worker count; a 2x factor
 // keeps the choice conservative about per-lookup overhead. Both paths
 // return identical relations, so the choice is purely a matter of cost.
+//
+// Deprecated: compose NewScan with Collect (ExecOpts{UseIndex: IndexAuto}).
 func ScanAuto(t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
-	if err := validateScan(t, preds, cols, names); err != nil {
+	it, err := NewScan(t, preds, cols, names, ExecOpts{Workers: workers})
+	if err != nil {
 		return nil, err
 	}
-	if ix, _ := bestIndexedPred(t, preds); ix != nil && ix.NKeys() >= 2*parallel.Resolve(workers) {
-		return IndexScan(t, preds, cols, names)
-	}
-	return ScanWorkers(t, preds, cols, names, workers)
+	return Collect(it)
 }
 
 // IndexedJoin equi-joins cur against the selection+projection of table t
@@ -406,78 +235,16 @@ func ScanAuto(t *Table, preds []Pred, cols []int, names []string, workers int) (
 // which it achieves by gathering only the index buckets matching cur's
 // join values, sorting them back into table order, and probing in that
 // order.
+//
+// Deprecated: compose NewTableJoin with Collect (ExecOpts{UseIndex:
+// IndexForce}).
 func IndexedJoin(cur *Rel, joinName string, t *Table, preds []Pred, cols []int, names []string, workers int) (*Rel, error) {
-	if err := validateScan(t, preds, cols, names); err != nil {
+	it, err := NewTableJoin(IterRel(cur), t, preds, cols, names, []string{joinName},
+		ExecOpts{Workers: workers, UseIndex: IndexForce})
+	if err != nil {
 		return nil, err
 	}
-	ci, ok := cur.ColIndex(joinName)
-	if !ok {
-		return nil, fmt.Errorf("relstore: join column %q not in left relation %v", joinName, cur.Cols)
-	}
-	ni := -1
-	for i, n := range names {
-		if n == joinName {
-			ni = i
-			break
-		}
-	}
-	if ni < 0 {
-		return nil, fmt.Errorf("relstore: join column %q not in projection %v", joinName, names)
-	}
-	tcol := cols[ni]
-	ix := t.indexes[tcol]
-	if ix == nil {
-		return nil, fmt.Errorf("relstore: IndexedJoin: no index on %s.%s", t.Name, t.Cols[tcol].Name)
-	}
-	build := make(map[string][][]Value, len(cur.Rows))
-	for _, row := range cur.Rows {
-		k := hashKey(row[ci])
-		build[k] = append(build[k], row)
-	}
-	// Gather the matching table rows and restore table order: sequence
-	// numbers are assigned in insertion order and deletions preserve
-	// relative order, so sorting by seq reproduces the order a scan of t
-	// would have produced (map iteration order does not leak through).
-	var entries []indexEntry
-	for k := range build {
-		entries = append(entries, ix.buckets[k]...)
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
-	out := &Rel{Cols: append([]string(nil), cur.Cols...)}
-	for i, n := range names {
-		if i == ni {
-			continue
-		}
-		out.Cols = append(out.Cols, n)
-	}
-	probe := func(lo, hi int) [][]Value {
-		var rows [][]Value
-	entries:
-		for _, e := range entries[lo:hi] {
-			row := e.row
-			for _, p := range preds {
-				if !row[p.Col].Equal(p.Value) {
-					continue entries
-				}
-			}
-			proj := make([]Value, 0, len(cols)-1)
-			for i, c := range cols {
-				if i == ni {
-					continue
-				}
-				proj = append(proj, row[c])
-			}
-			for _, crow := range build[hashKey(row[tcol])] {
-				joined := make([]Value, 0, len(out.Cols))
-				joined = append(joined, crow...)
-				joined = append(joined, proj...)
-				rows = append(rows, joined)
-			}
-		}
-		return rows
-	}
-	out.Rows = concatChunks(parallel.MapChunks(len(entries), workers, 0, probe))
-	return out, nil
+	return Collect(it)
 }
 
 // EstimateJoinOutput estimates the output cardinality of an equi-join of the

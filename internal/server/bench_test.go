@@ -21,7 +21,7 @@ func benchServer(b *testing.B) *httptest.Server {
 	ts := httptest.NewServer(s.Handler())
 	b.Cleanup(func() { ts.Close(); s.Close() })
 	createSession(b, ts, "co", true)
-	for _, warm := range []string{"/graphs/co/analyze/components", "/graphs/co/analyze/degree?k=5", "/graphs/co/analyze/pagerank"} {
+	for _, warm := range []string{"/v1/graphs/co/analyze/components", "/v1/graphs/co/analyze/degree?k=5", "/v1/graphs/co/analyze/pagerank"} {
 		if code, err := getStatus(ts.URL + warm); err != nil || code != http.StatusOK {
 			b.Fatalf("warming %s: code %d err %v", warm, code, err)
 		}
@@ -42,13 +42,13 @@ func BenchmarkServerThroughput(b *testing.B) {
 			var url string
 			switch n := i.Add(1); n % 4 {
 			case 0:
-				url = ts.URL + "/graphs/co/analyze/components"
+				url = ts.URL + "/v1/graphs/co/analyze/components"
 			case 1:
-				url = ts.URL + "/graphs/co/analyze/degree?k=5"
+				url = ts.URL + "/v1/graphs/co/analyze/degree?k=5"
 			case 2:
-				url = fmt.Sprintf("%s/graphs/co/neighbors?v=%d", ts.URL, n%2000+1)
+				url = fmt.Sprintf("%s/v1/graphs/co/neighbors?v=%d", ts.URL, n%2000+1)
 			default:
-				url = ts.URL + "/graphs/co/stats"
+				url = ts.URL + "/v1/graphs/co/stats"
 			}
 			code, err := getStatus(url)
 			if err != nil || code != http.StatusOK {
@@ -65,7 +65,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 // TestCachedAnalyzeSpeedup.
 func BenchmarkServerCachedAnalyze(b *testing.B) {
 	ts := benchServer(b)
-	url := ts.URL + "/graphs/co/analyze/pagerank"
+	url := ts.URL + "/v1/graphs/co/analyze/pagerank"
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		code, err := getStatus(url)
@@ -81,7 +81,7 @@ func BenchmarkServerColdAnalyze(b *testing.B) {
 	ts := benchServer(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		url := fmt.Sprintf("%s/graphs/co/analyze/bfs?src=%d", ts.URL, i%2000+1)
+		url := fmt.Sprintf("%s/v1/graphs/co/analyze/bfs?src=%d", ts.URL, i%2000+1)
 		code, err := getStatus(url)
 		if err != nil || code != http.StatusOK {
 			b.Fatalf("code %d err %v", code, err)
@@ -97,10 +97,10 @@ func BenchmarkServerMutation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ins := map[string]any{"row": []any{i%2000 + 1, 950000 + i%500}}
-		if code, err := postJSON(ts.URL+"/db/AuthorPub/insert", ins); err != nil || code != http.StatusOK {
+		if code, err := postJSON(ts.URL+"/v1/db/AuthorPub/insert", ins); err != nil || code != http.StatusOK {
 			b.Fatalf("insert: code %d err %v", code, err)
 		}
-		if code, err := postJSON(ts.URL+"/db/AuthorPub/delete", ins); err != nil || code != http.StatusOK {
+		if code, err := postJSON(ts.URL+"/v1/db/AuthorPub/delete", ins); err != nil || code != http.StatusOK {
 			b.Fatalf("delete: code %d err %v", code, err)
 		}
 	}

@@ -21,14 +21,17 @@ type RouteStats struct {
 }
 
 // EvalStats aggregates the Datalog evaluation counters of every
-// program-built session since daemon start: how many programs ran, and
-// the total strata, semi-naive iterations, and derived tuples their
-// evaluations cost.
+// program-built session since daemon start: how many programs ran, the
+// total strata, semi-naive iterations, and derived tuples their
+// evaluations cost, and the largest peak-intermediate-row footprint any
+// single evaluation reached (a high-water mark, not a sum — it answers
+// "how much operator-held state must this daemon be provisioned for").
 type EvalStats struct {
-	Programs      int64 `json:"programs"`
-	Strata        int64 `json:"strata"`
-	Iterations    int64 `json:"iterations"`
-	DerivedTuples int64 `json:"derived_tuples"`
+	Programs             int64 `json:"programs"`
+	Strata               int64 `json:"strata"`
+	Iterations           int64 `json:"iterations"`
+	DerivedTuples        int64 `json:"derived_tuples"`
+	PeakIntermediateRows int64 `json:"peak_intermediate_rows"`
 }
 
 // metrics tracks per-route request counters and latencies plus the
@@ -43,23 +46,32 @@ type metrics struct {
 	evalStrata     atomic.Int64
 	evalIterations atomic.Int64
 	evalDerived    atomic.Int64
+	evalPeak       atomic.Int64
 }
 
-// observeEval records one successful program evaluation.
+// observeEval records one successful program evaluation. Counters
+// accumulate; the peak is a CAS max across evaluations.
 func (m *metrics) observeEval(es graphgen.EvalStats) {
 	m.evalPrograms.Add(1)
 	m.evalStrata.Add(int64(es.Strata))
 	m.evalIterations.Add(int64(es.Iterations))
 	m.evalDerived.Add(es.DerivedTuples)
+	for {
+		cur := m.evalPeak.Load()
+		if es.PeakIntermediateRows <= cur || m.evalPeak.CompareAndSwap(cur, es.PeakIntermediateRows) {
+			break
+		}
+	}
 }
 
 // evalSnapshot returns the aggregated program-evaluation counters.
 func (m *metrics) evalSnapshot() EvalStats {
 	return EvalStats{
-		Programs:      m.evalPrograms.Load(),
-		Strata:        m.evalStrata.Load(),
-		Iterations:    m.evalIterations.Load(),
-		DerivedTuples: m.evalDerived.Load(),
+		Programs:             m.evalPrograms.Load(),
+		Strata:               m.evalStrata.Load(),
+		Iterations:           m.evalIterations.Load(),
+		DerivedTuples:        m.evalDerived.Load(),
+		PeakIntermediateRows: m.evalPeak.Load(),
 	}
 }
 

@@ -4,18 +4,23 @@
 // sessions — static snapshots or live graphs maintained incrementally as
 // the tables change (cmd/graphgend is the binary front end).
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the bare legacy routes remain as
+// aliases and label themselves "(deprecated)" in /metrics route stats):
 //
-//	POST   /graphs                          extract a query or Datalog program into a session
-//	GET    /graphs                          list sessions
-//	DELETE /graphs/{name}                   drop a session
-//	GET    /graphs/{name}/stats             size and maintenance counters
-//	GET    /graphs/{name}/neighbors?v=ID    logical out-neighbors
-//	GET    /graphs/{name}/analyze/{algo}    degree|pagerank|components|bfs|triangles|sssp|closeness
-//	POST   /db/{table}/insert               append rows (live graphs follow)
-//	POST   /db/{table}/delete               remove rows (live graphs follow)
-//	GET    /healthz                         liveness
-//	GET    /metrics                         request/latency/cache counters
+//	POST   /v1/graphs                          extract a query or Datalog program into a session
+//	GET    /v1/graphs                          list sessions
+//	DELETE /v1/graphs/{name}                   drop a session
+//	GET    /v1/graphs/{name}/stats             size and maintenance counters
+//	GET    /v1/graphs/{name}/neighbors?v=ID    logical out-neighbors
+//	GET    /v1/graphs/{name}/analyze/{algo}    degree|pagerank|components|bfs|triangles|sssp|closeness
+//	POST   /v1/db/{table}/insert               append rows (live graphs follow)
+//	POST   /v1/db/{table}/delete               remove rows (live graphs follow)
+//	GET    /v1/healthz                         liveness
+//	GET    /v1/metrics                         request/latency/cache counters
+//
+// Errors are a structured envelope with a stable machine-readable code:
+//
+//	{"error": {"code": "session_not_found", "message": "no session \"x\""}}
 //
 // Sessions created with a "program" body field evaluate a multi-rule
 // Datalog program (derived predicates, recursion, stratified negation,
@@ -153,19 +158,27 @@ func New(engine *graphgen.Engine, opts Options) *Server {
 		metrics:          newMetrics(),
 	}
 	s.mux = http.NewServeMux()
-	route := func(pattern string, h http.HandlerFunc) {
-		s.mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	// Every endpoint registers twice: the canonical versioned pattern under
+	// /v1, and the pre-versioning bare pattern as a compatibility alias.
+	// The alias serves the identical handler but is labeled "(deprecated)"
+	// in /metrics route stats, so operators can watch legacy traffic drain
+	// before the alias is removed.
+	route := func(method, path string, h http.HandlerFunc) {
+		v1 := method + " /v1" + path
+		legacy := method + " " + path
+		s.mux.HandleFunc(v1, s.metrics.instrument(v1, h))
+		s.mux.HandleFunc(legacy, s.metrics.instrument(legacy+" (deprecated)", h))
 	}
-	route("POST /graphs", s.handleCreateGraph)
-	route("GET /graphs", s.handleListGraphs)
-	route("DELETE /graphs/{name}", s.handleDeleteGraph)
-	route("GET /graphs/{name}/stats", s.handleStats)
-	route("GET /graphs/{name}/neighbors", s.handleNeighbors)
-	route("GET /graphs/{name}/analyze/{algo}", s.handleAnalyze)
-	route("POST /db/{table}/insert", s.handleMutate("insert"))
-	route("POST /db/{table}/delete", s.handleMutate("delete"))
-	route("GET /healthz", s.handleHealthz)
-	route("GET /metrics", s.handleMetrics)
+	route("POST", "/graphs", s.handleCreateGraph)
+	route("GET", "/graphs", s.handleListGraphs)
+	route("DELETE", "/graphs/{name}", s.handleDeleteGraph)
+	route("GET", "/graphs/{name}/stats", s.handleStats)
+	route("GET", "/graphs/{name}/neighbors", s.handleNeighbors)
+	route("GET", "/graphs/{name}/analyze/{algo}", s.handleAnalyze)
+	route("POST", "/db/{table}/insert", s.handleMutate("insert"))
+	route("POST", "/db/{table}/delete", s.handleMutate("delete"))
+	route("GET", "/healthz", s.handleHealthz)
+	route("GET", "/metrics", s.handleMetrics)
 	return s
 }
 
@@ -211,8 +224,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes carried in the error envelope.
+// Clients branch on the code; the message is human-readable and free to
+// change between releases.
+const (
+	codeBadJSON          = "bad_json"          // request body is not valid JSON
+	codeBadParam         = "bad_param"         // a field or query parameter is missing or malformed
+	codeSessionExists    = "session_exists"    // create collided with an existing session name
+	codeSessionLimit     = "session_limit"     // MaxSessions reached
+	codeSessionNotFound  = "session_not_found" // no session under that name
+	codeExtractionFailed = "extraction_failed" // query/program parse or evaluation error
+	codeBudgetExceeded   = "budget_exceeded"   // evaluation aborted by the derived-tuple budget
+	codeTableNotFound    = "table_not_found"   // mutation names an unknown table
+	codeMutationFailed   = "mutation_failed"   // a row failed mid-batch
+	codeInternal         = "internal"          // unexpected server-side failure
+)
+
+// errorBody is the inner object of the error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the structured error envelope
+// {"error": {"code": ..., "message": ...}}.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // validSessionName restricts names to a URL-inert charset: anything
@@ -257,23 +294,23 @@ type createRequest struct {
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadJSON, "invalid JSON body: %v", err)
 		return
 	}
 	if !validSessionName(req.Name) {
-		writeErr(w, http.StatusBadRequest, "session name must match [A-Za-z0-9_-]{1,64}")
+		writeError(w, http.StatusBadRequest, codeBadParam, "session name must match [A-Za-z0-9_-]{1,64}")
 		return
 	}
 	if req.Query == "" && req.Program == "" {
-		writeErr(w, http.StatusBadRequest, `body must carry "query" (non-recursive extraction) or "program" (multi-rule Datalog)`)
+		writeError(w, http.StatusBadRequest, codeBadParam, `body must carry "query" (non-recursive extraction) or "program" (multi-rule Datalog)`)
 		return
 	}
 	if req.Query != "" && req.Program != "" {
-		writeErr(w, http.StatusBadRequest, `"query" and "program" are mutually exclusive`)
+		writeError(w, http.StatusBadRequest, codeBadParam, `"query" and "program" are mutually exclusive`)
 		return
 	}
 	if req.Program != "" && req.Live {
-		writeErr(w, http.StatusBadRequest, "program sessions are static-only: live incremental maintenance of derived predicates is not supported; re-create with live=false and rebuild after mutations")
+		writeError(w, http.StatusBadRequest, codeBadParam, "program sessions are static-only: live incremental maintenance of derived predicates is not supported; re-create with live=false and rebuild after mutations")
 		return
 	}
 	// Pre-check name and capacity before paying for the extraction (the
@@ -285,11 +322,11 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	full := len(s.sessions) >= s.maxSessions
 	s.sessMu.RUnlock()
 	if exists {
-		writeErr(w, http.StatusConflict, "session %q already exists", req.Name)
+		writeError(w, http.StatusConflict, codeSessionExists, "session %q already exists", req.Name)
 		return
 	}
 	if full {
-		writeErr(w, http.StatusTooManyRequests, "session limit (%d) reached; DELETE one first", s.maxSessions)
+		writeError(w, http.StatusTooManyRequests, codeSessionLimit, "session limit (%d) reached; DELETE one first", s.maxSessions)
 		return
 	}
 	var opts []graphgen.Option
@@ -314,7 +351,11 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	s.dbMu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "extraction failed: %v", err)
+		code := codeExtractionFailed
+		if errors.Is(err, graphgen.ErrTooManyDerived) {
+			code = codeBudgetExceeded
+		}
+		writeError(w, http.StatusBadRequest, code, "extraction failed: %v", err)
 		return
 	}
 	if sess.program {
@@ -326,13 +367,13 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	if _, exists := s.sessions[req.Name]; exists {
 		s.sessMu.Unlock()
 		s.closeLive(sess.live)
-		writeErr(w, http.StatusConflict, "session %q already exists", req.Name)
+		writeError(w, http.StatusConflict, codeSessionExists, "session %q already exists", req.Name)
 		return
 	}
 	if len(s.sessions) >= s.maxSessions {
 		s.sessMu.Unlock()
 		s.closeLive(sess.live)
-		writeErr(w, http.StatusTooManyRequests, "session limit (%d) reached; DELETE one first", s.maxSessions)
+		writeError(w, http.StatusTooManyRequests, codeSessionLimit, "session limit (%d) reached; DELETE one first", s.maxSessions)
 		return
 	}
 	s.sessions[req.Name] = sess
@@ -367,7 +408,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessMu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no session %q", name)
+		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", name)
 		return
 	}
 	s.closeLive(sess.live)
@@ -409,10 +450,11 @@ func (s *Server) statsPayload(sess *session) map[string]any {
 		out["program"] = true
 		if es, ok := g.ProgramStats(); ok {
 			out["eval"] = map[string]int64{
-				"strata":         int64(es.Strata),
-				"iterations":     int64(es.Iterations),
-				"derived_tuples": es.DerivedTuples,
-				"temp_tables":    int64(es.TempTables),
+				"strata":                 int64(es.Strata),
+				"iterations":             int64(es.Iterations),
+				"derived_tuples":         es.DerivedTuples,
+				"temp_tables":            int64(es.TempTables),
+				"peak_intermediate_rows": es.PeakIntermediateRows,
 			}
 		}
 	}
@@ -422,7 +464,7 @@ func (s *Server) statsPayload(sess *session) map[string]any {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("name"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.statsPayload(sess))
@@ -431,17 +473,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("name"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
 	vs := r.URL.Query().Get("v")
 	if vs == "" {
-		writeErr(w, http.StatusBadRequest, "missing required query parameter v (vertex ID)")
+		writeError(w, http.StatusBadRequest, codeBadParam, "missing required query parameter v (vertex ID)")
 		return
 	}
 	v, err := strconv.ParseInt(vs, 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "v must be an integer vertex ID: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadParam, "v must be an integer vertex ID: %v", err)
 		return
 	}
 	var it graphgen.Iterator
@@ -483,12 +525,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	name, algo := r.PathValue("name"), r.PathValue("algo")
 	sess, ok := s.lookup(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no session %q", name)
+		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", name)
 		return
 	}
 	params, err := parseParams(algo, r.URL.Query())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadParam, "%v", err)
 		return
 	}
 	// Snapshot-version cache key: reading Version first flushes pending
@@ -518,12 +560,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	result, err := computeAnalysis(g, algo, params)
 	elapsed := time.Since(start)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadParam, "%v", err)
 		return
 	}
 	body, err := json.Marshal(result)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "marshaling result: %v", err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "marshaling result: %v", err)
 		return
 	}
 	s.cache.put(key, body)
@@ -790,14 +832,14 @@ func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
 	tableName := r.PathValue("table")
 	table, err := s.engine.DB().Table(tableName)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeError(w, http.StatusNotFound, codeTableNotFound, "%v", err)
 		return
 	}
 	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
 	dec.UseNumber()
 	var req mutateRequest
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadJSON, "invalid JSON body: %v", err)
 		return
 	}
 	rows := req.Rows
@@ -805,14 +847,14 @@ func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, req.Row)
 	}
 	if len(rows) == 0 {
-		writeErr(w, http.StatusBadRequest, `body must carry "row" (one tuple) or "rows" (a batch)`)
+		writeError(w, http.StatusBadRequest, codeBadParam, `body must carry "row" (one tuple) or "rows" (a batch)`)
 		return
 	}
 	typed := make([][]graphgen.Value, len(rows))
 	for i, raw := range rows {
 		typed[i], err = convertRow(table, raw)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "row %d: %v", i, err)
+			writeError(w, http.StatusBadRequest, codeBadParam, "row %d: %v", i, err)
 			return
 		}
 	}
@@ -842,7 +884,7 @@ func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
 	}
 	s.dbMu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%s: applied %d of %d rows, then: %v", op, applied, len(typed), err)
+		writeError(w, http.StatusBadRequest, codeMutationFailed, "%s: applied %d of %d rows, then: %v", op, applied, len(typed), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"table": table.Name, "op": op, "applied": applied, "requested": len(typed)})

@@ -56,6 +56,19 @@ func doJSON(t testing.TB, method, url string, body any) (int, map[string]any) {
 	return resp.StatusCode, out
 }
 
+// errEnvelope unwraps the structured error envelope
+// {"error": {"code": ..., "message": ...}} of a failed response.
+func errEnvelope(t testing.TB, body map[string]any) (code, message string) {
+	t.Helper()
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("response carries no error envelope: %v", body)
+	}
+	code, _ = env["code"].(string)
+	message, _ = env["message"].(string)
+	return code, message
+}
+
 func createSession(t testing.TB, ts *httptest.Server, name string, live bool) {
 	t.Helper()
 	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
@@ -278,7 +291,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("cache counters not tracked: %v", cache)
 	}
 	reqs := m["requests"].(map[string]any)
-	analyze, ok := reqs["GET /graphs/{name}/analyze/{algo}"].(map[string]any)
+	// Requests arrived on the bare legacy routes, so the route stats carry
+	// the deprecation label; the /v1 spellings get their own entries.
+	analyze, ok := reqs["GET /graphs/{name}/analyze/{algo} (deprecated)"].(map[string]any)
 	if !ok || analyze["count"].(float64) < 2 {
 		t.Fatalf("per-route metrics missing: %v", reqs)
 	}
@@ -658,7 +673,7 @@ func TestProgramSessionValidation(t *testing.T) {
 	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
 		"name": "p1", "program": reachProgram, "live": true,
 	})
-	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "static-only") {
+	if ecode, msg := errEnvelope(t, body); code != http.StatusBadRequest || ecode != "bad_param" || !strings.Contains(msg, "static-only") {
 		t.Fatalf("live program: status %d, body %v", code, body)
 	}
 
@@ -666,7 +681,7 @@ func TestProgramSessionValidation(t *testing.T) {
 	code, body = doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
 		"name": "p2", "program": reachProgram, "query": datagen.QueryCoauthors,
 	})
-	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "mutually exclusive") {
+	if ecode, msg := errEnvelope(t, body); code != http.StatusBadRequest || ecode != "bad_param" || !strings.Contains(msg, "mutually exclusive") {
 		t.Fatalf("both: status %d, body %v", code, body)
 	}
 
@@ -681,7 +696,7 @@ func TestProgramSessionValidation(t *testing.T) {
 		"name":    "p4",
 		"program": "P(A) :- Author(A, _), !P(A).\nNodes(A) :- Author(A, _).\nEdges(A, B) :- P(A), P(B).",
 	})
-	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "negation cycle") {
+	if ecode, msg := errEnvelope(t, body); code != http.StatusBadRequest || ecode != "extraction_failed" || !strings.Contains(msg, "negation cycle") {
 		t.Fatalf("unstratifiable: status %d, body %v", code, body)
 	}
 }
@@ -750,7 +765,7 @@ func TestProgramSessionDerivedBudget(t *testing.T) {
 	code, body := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
 		"name": "tiny", "program": reachProgram, "max_derived_tuples": 5,
 	})
-	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "derived tuples exceed") {
+	if ecode, msg := errEnvelope(t, body); code != http.StatusBadRequest || ecode != "budget_exceeded" || !strings.Contains(msg, "derived tuples exceed") {
 		t.Fatalf("budgeted create: status %d, body %v", code, body)
 	}
 	// The failed evaluation must not leave a session behind.
@@ -764,7 +779,7 @@ func TestProgramSessionDerivedBudget(t *testing.T) {
 	code, body = doJSON(t, "POST", ts2.URL+"/graphs", map[string]any{
 		"name": "raise", "program": reachProgram, "max_derived_tuples": 1 << 40,
 	})
-	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "derived tuples exceed") {
+	if ecode, msg := errEnvelope(t, body); code != http.StatusBadRequest || ecode != "budget_exceeded" || !strings.Contains(msg, "derived tuples exceed") {
 		t.Fatalf("cap raise attempt: status %d, body %v", code, body)
 	}
 }

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphgen/internal/datagen"
+)
+
+// TestV1RoutesAliasLegacy pins the versioning contract: every /v1 route
+// and its bare legacy alias are served by the same handler and return
+// byte-identical payloads (modulo fields that measure the request
+// itself, like uptime).
+func TestV1RoutesAliasLegacy(t *testing.T) {
+	_, ts := newTestServer(t, 40, 30)
+	code, body := doJSON(t, "POST", ts.URL+"/v1/graphs", map[string]any{
+		"name": "co", "query": datagen.QueryCoauthors,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create via /v1: status %d, body %v", code, body)
+	}
+	paths := []string{
+		"/graphs",
+		"/graphs/co/stats",
+		"/graphs/co/neighbors?v=1",
+	}
+	for _, path := range paths {
+		legacyCode, legacy := doJSON(t, "GET", ts.URL+path, nil)
+		v1Code, v1 := doJSON(t, "GET", ts.URL+"/v1"+path, nil)
+		if legacyCode != v1Code {
+			t.Fatalf("%s: legacy status %d, /v1 status %d", path, legacyCode, v1Code)
+		}
+		if !reflect.DeepEqual(legacy, v1) {
+			t.Fatalf("%s: legacy payload %v, /v1 payload %v", path, legacy, v1)
+		}
+	}
+	// Healthz payloads share shape; uptime advances between the requests.
+	legacyCode, legacy := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	v1Code, v1 := doJSON(t, "GET", ts.URL+"/v1/healthz", nil)
+	if legacyCode != http.StatusOK || v1Code != http.StatusOK ||
+		legacy["status"] != v1["status"] || legacy["sessions"] != v1["sessions"] {
+		t.Fatalf("healthz mismatch: legacy %v, /v1 %v", legacy, v1)
+	}
+	// Errors carry the same envelope on both spellings.
+	legacyCode, legacy = doJSON(t, "GET", ts.URL+"/graphs/nope/stats", nil)
+	v1Code, v1 = doJSON(t, "GET", ts.URL+"/v1/graphs/nope/stats", nil)
+	if legacyCode != http.StatusNotFound || v1Code != http.StatusNotFound {
+		t.Fatalf("missing session: legacy %d, /v1 %d", legacyCode, v1Code)
+	}
+	if !reflect.DeepEqual(legacy, v1) {
+		t.Fatalf("error envelope mismatch: legacy %v, /v1 %v", legacy, v1)
+	}
+	// Both spellings appear in /metrics route stats; the legacy one is
+	// labeled deprecated so operators can watch its traffic drain.
+	_, m := doJSON(t, "GET", ts.URL+"/v1/metrics", nil)
+	reqs := m["requests"].(map[string]any)
+	if _, ok := reqs["GET /v1/graphs/{name}/stats"]; !ok {
+		t.Fatalf("no /v1 route label in metrics: %v", reqs)
+	}
+	if _, ok := reqs["GET /graphs/{name}/stats (deprecated)"]; !ok {
+		t.Fatalf("no deprecated legacy label in metrics: %v", reqs)
+	}
+}
+
+// TestErrorEnvelopeCodes walks the error surface and asserts each
+// failure mode returns its documented stable code.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	_, ts := newTestServer(t, 40, 30)
+	code, body := doJSON(t, "POST", ts.URL+"/v1/graphs", map[string]any{
+		"name": "co", "query": datagen.QueryCoauthors,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d, body %v", code, body)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       map[string]any
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad session name", "POST", "/v1/graphs", map[string]any{"name": "no/slash", "query": datagen.QueryCoauthors}, http.StatusBadRequest, "bad_param"},
+		{"no query or program", "POST", "/v1/graphs", map[string]any{"name": "empty"}, http.StatusBadRequest, "bad_param"},
+		{"duplicate session", "POST", "/v1/graphs", map[string]any{"name": "co", "query": datagen.QueryCoauthors}, http.StatusConflict, "session_exists"},
+		{"bad query", "POST", "/v1/graphs", map[string]any{"name": "bad", "query": "this is not datalog"}, http.StatusBadRequest, "extraction_failed"},
+		{"unknown session", "DELETE", "/v1/graphs/nope", nil, http.StatusNotFound, "session_not_found"},
+		{"missing v param", "GET", "/v1/graphs/co/neighbors", nil, http.StatusBadRequest, "bad_param"},
+		{"non-integer v", "GET", "/v1/graphs/co/neighbors?v=abc", nil, http.StatusBadRequest, "bad_param"},
+		{"unknown analysis", "GET", "/v1/graphs/co/analyze/nope", nil, http.StatusBadRequest, "bad_param"},
+		{"unknown table", "POST", "/v1/db/Nope/insert", map[string]any{"row": []any{1}}, http.StatusNotFound, "table_not_found"},
+		{"empty mutation", "POST", "/v1/db/Author/insert", map[string]any{}, http.StatusBadRequest, "bad_param"},
+		{"arity mismatch", "POST", "/v1/db/Author/insert", map[string]any{"row": []any{1}}, http.StatusBadRequest, "bad_param"},
+	}
+	for _, tc := range cases {
+		code, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+		gotCode, msg := errEnvelope(t, body)
+		if code != tc.wantStatus || gotCode != tc.wantCode {
+			t.Errorf("%s: status %d code %q (want %d %q), message %q", tc.name, code, gotCode, tc.wantStatus, tc.wantCode, msg)
+		}
+		if msg == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	// Malformed JSON cannot go through doJSON's marshaler.
+	resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+		t.Fatal(derr)
+	}
+	gotCode, _ := errEnvelope(t, out)
+	if resp.StatusCode != http.StatusBadRequest || gotCode != "bad_json" {
+		t.Fatalf("malformed JSON: status %d code %q", resp.StatusCode, gotCode)
+	}
+}

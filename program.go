@@ -62,6 +62,7 @@ func (e *Engine) ExtractProgram(src string, opts ...Option) (*Graph, error) {
 		Workers:          o.Workers,
 		MaxDerivedTuples: o.MaxDerivedTuples,
 		NoIndex:          o.NoIndex,
+		NoStream:         o.NoStream,
 	})
 	if err != nil {
 		return nil, err
@@ -71,6 +72,12 @@ func (e *Engine) ExtractProgram(src string, opts ...Option) (*Graph, error) {
 		return nil, err
 	}
 	evalStats := ev.Stats
+	// The peak reported to callers covers the whole call: program
+	// evaluation and the extraction of the Nodes/Edges statements that
+	// follows it (a high-water mark, so take the larger of the two).
+	if res.Stats.PeakIntermediateRows > evalStats.PeakIntermediateRows {
+		evalStats.PeakIntermediateRows = res.Stats.PeakIntermediateRows
+	}
 	return &Graph{c: res.Graph, stats: res.Stats, evalStats: &evalStats}, nil
 }
 
