@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +63,7 @@ type config struct {
 	csvTables   string
 	workers     int
 	noIndex     bool
+	explain     bool
 }
 
 // errParseReported marks a flag.Parse failure: the FlagSet has already
@@ -110,6 +112,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	csvTables := fs.String("csv", "", "comma-separated name=path.csv pairs loaded into a fresh database instead of -dataset")
 	workers := fs.Int("workers", 0, "worker-pool parallelism for extraction and conversion (0 = GOMAXPROCS, 1 = serial)")
 	noIndex := fs.Bool("no-index", false, "disable automatic secondary hash indexes on join/predicate columns (indexes are on by default)")
+	explain := fs.Bool("explain", false, "trace the extraction and print its execution profile as JSON (operator tree, access-path choices, rows, wall time)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return config{}, err
@@ -129,6 +132,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		csvTables:   *csvTables,
 		workers:     *workers,
 		noIndex:     *noIndex,
+		explain:     *explain,
 	}
 	var err error
 	if cfg.rep, err = parseRep(*rep); err != nil {
@@ -190,13 +194,17 @@ func dispatch(cfg config, stdout io.Writer) error {
 		return nil
 	}
 	engine := graphgen.NewEngine(db, graphgen.WithParallelism(cfg.workers), graphgen.WithAutoIndex(!cfg.noIndex))
+	var extractOpts []graphgen.Option
+	if cfg.explain {
+		extractOpts = append(extractOpts, graphgen.WithProfile())
+	}
 	var g *graphgen.Graph
 	if cfg.programFile != "" {
 		data, err := os.ReadFile(cfg.programFile)
 		if err != nil {
 			return err
 		}
-		if g, err = engine.ExtractProgram(string(data)); err != nil {
+		if g, err = engine.ExtractProgram(string(data), extractOpts...); err != nil {
 			return err
 		}
 		es, _ := g.ProgramStats()
@@ -206,8 +214,18 @@ func dispatch(cfg config, stdout io.Writer) error {
 		if query == "" {
 			return usagef("no query: pass -query-file, -program, or use a built-in -dataset")
 		}
-		if g, err = engine.Extract(query); err != nil {
+		if g, err = engine.Extract(query, extractOpts...); err != nil {
 			return err
+		}
+	}
+	if cfg.explain {
+		if prof := g.Profile(); prof != nil {
+			fmt.Fprintln(stdout, "execution profile:")
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(prof); err != nil {
+				return err
+			}
 		}
 	}
 	st := g.ExtractionStats()

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,10 +56,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheMB := fs.Int64("cache-mb", 64, "analytics cache: max total result megabytes")
 	maxSessions := fs.Int("max-sessions", 64, "max concurrent graph sessions")
 	maxDerived := fs.Int64("max-derived", 10_000_000, "Datalog program sessions: max derived tuples per evaluation (-1 disables)")
+	logLevel := fs.String("log-level", "info", "request log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "request log format: text or json (written to stderr)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (profiling exposes heap contents; keep off on public listeners)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	logger, err := buildLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, "graphgend:", err)
 		return 2
 	}
 
@@ -79,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheBytes:       *cacheMB << 20,
 		MaxSessions:      *maxSessions,
 		MaxDerivedTuples: *maxDerived,
+		Logger:           logger,
+		EnablePprof:      *pprofOn,
 	})
 	defer srv.Close()
 
@@ -117,6 +128,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// buildLogger assembles the request logger from the -log-level and
+// -log-format flags; unknown values are usage errors.
+func buildLogger(w io.Writer, levelName, format string) (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(levelName)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, or error", levelName)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
 }
 
 // loadDB builds the served database: CSV tables when -csv is given,

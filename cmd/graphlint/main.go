@@ -7,6 +7,7 @@
 //	determinism   deterministic packages shun wall clocks, global rand, map-order appends
 //	lockedreturn  returns must not leak a held mutex
 //	iterclose     row iterators in relstore/extract/datalogeval are closed or handed off
+//	spanend       trace spans in relstore/extract/datalogeval are ended or handed off
 //
 // Usage:
 //

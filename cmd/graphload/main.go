@@ -302,6 +302,31 @@ func trimBody(b []byte) string {
 	return s
 }
 
+// reqID extracts the server-assigned request id from a failed response
+// (header first, error envelope as fallback) so an op error in the
+// summary can be joined to the daemon's log line for that request.
+func reqID(resp *http.Response, body []byte) string {
+	if id := resp.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	var env struct {
+		Error struct {
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil {
+		return env.Error.RequestID
+	}
+	return ""
+}
+
+func reqIDSuffix(resp *http.Response, body []byte) string {
+	if id := reqID(resp, body); id != "" {
+		return " [request_id " + id + "]"
+	}
+	return ""
+}
+
 // getJSON GETs a path, requires 200, and decodes the body into v.
 func (lg *loadgen) getJSON(path string, v any) error {
 	resp, err := lg.hc.Get(lg.base + path)
@@ -314,7 +339,7 @@ func (lg *loadgen) getJSON(path string, v any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, trimBody(body))
+		return fmt.Errorf("GET %s: %s: %s%s", path, resp.Status, trimBody(body), reqIDSuffix(resp, body))
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		return fmt.Errorf("GET %s: malformed reply: %v", path, err)
@@ -345,7 +370,7 @@ func (lg *loadgen) postJSON(path string, req any, v any, okStatus ...int) error 
 		}
 	}
 	if !ok {
-		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, trimBody(body))
+		return fmt.Errorf("POST %s: %s: %s%s", path, resp.Status, trimBody(body), reqIDSuffix(resp, body))
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		return fmt.Errorf("POST %s: malformed reply: %v", path, err)

@@ -35,12 +35,20 @@ curl -sf "$BASE/v1/graphs/coauth/analyze/pagerank?k=5" | grep -o '"cached": [a-z
 curl -sf "$BASE/v1/graphs/coauth/neighbors?v=1" | head -c 200; echo
 curl -sf -X POST "$BASE/v1/db/AuthorPub/delete" -d '{"row": [2, 99991]}'; echo
 
-echo "== recursive program session: transitive co-authorship reachability =="
-curl -sf -X POST "$BASE/v1/graphs" -d '{
+echo "== recursive program session, created with ANALYZE tracing =="
+# ?analyze=true arms operator-span tracing for the one evaluation this
+# request runs; the response carries the full execution profile, whose
+# semi-naive delta-round spans reconcile with eval.derived_tuples.
+curl -sf -X POST "$BASE/v1/graphs?analyze=true" -d '{
   "name": "reach",
   "program": "Coauthor(A, B) :- AuthorPub(A, P), AuthorPub(B, P), A != B, A < 150, B < 150. Reach(A, B) :- Coauthor(A, B). Reach(A, C) :- Reach(A, B), Coauthor(B, C). Nodes(ID, Name) :- Author(ID, Name). Edges(A, B) :- Reach(A, B)."
-}' | head -c 500; echo
-curl -sf "$BASE/v1/graphs/reach/stats" | grep -o '"derived_tuples": [0-9]*'
+}' > /tmp/reach_create.json
+head -c 500 /tmp/reach_create.json; echo
+grep -o '"derived_tuples": [0-9]*' /tmp/reach_create.json | head -1
+echo "-- delta rounds recorded in the profile:"
+grep -o '"op": "round"' /tmp/reach_create.json | wc -l
+# the recorded build plan re-attaches to analytics calls on demand
+curl -sf "$BASE/v1/graphs/reach/analyze/components?explain=true" | grep -o '"op": "[a-z_]*"' | sort | uniq -c | sort -rn | head -5
 curl -sf "$BASE/v1/graphs/reach/analyze/components" | head -c 300; echo
 # program sessions are static-only: live=true is rejected with the
 # structured error envelope (stable "code", human-readable "message")
@@ -48,9 +56,15 @@ curl -s -X POST "$BASE/v1/graphs" -d '{"name": "reach-live", "live": true,
   "program": "Nodes(A) :- Author(A, _). Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P)."}' \
   | grep -o '"code": "[^"]*"'
 
+echo "== request ids: header, error envelope, and the server log agree =="
+curl -sf -D - -o /dev/null "$BASE/v1/healthz" | grep -i 'x-request-id'
+curl -s "$BASE/v1/graphs/no-such-session/stats" | grep -o '"request_id": "[^"]*"'
+
 echo "== metrics =="
 curl -sf "$BASE/v1/metrics" | head -c 600; echo
 curl -sf "$BASE/v1/metrics" | grep -o '"programs": [0-9]*'
+echo "-- Prometheus exposition (status-class counters, latency histograms):"
+curl -sf "$BASE/v1/metrics?format=prometheus" | grep -E 'requests_total|uptime' | head -8
 
 echo "== clean up =="
 curl -sf -X DELETE "$BASE/v1/graphs/coauth"; echo

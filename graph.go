@@ -21,6 +21,9 @@ type Graph struct {
 	// evalStats is set when the graph came from ExtractProgram
 	// (ProgramStats exposes it); nil for plain Extract graphs.
 	evalStats *EvalStats
+	// profile is the execution trace recorded under WithProfile
+	// (Profile exposes it); nil when tracing was off.
+	profile *Profile
 }
 
 // assert the public graph satisfies the representation-independent API.
@@ -111,31 +114,31 @@ func (g *Graph) As(rep Representation, opts ...DedupOptions) (*Graph, error) {
 	}
 	switch rep {
 	case CDUP:
-		return &Graph{c: g.c.Clone(), stats: g.stats, evalStats: g.evalStats}, nil
+		return &Graph{c: g.c.Clone(), stats: g.stats, evalStats: g.evalStats, profile: g.profile}, nil
 	case EXP:
 		exp, err := g.c.Expand(0)
 		if err != nil {
 			return nil, err
 		}
-		return &Graph{c: exp, stats: g.stats, evalStats: g.evalStats}, nil
+		return &Graph{c: exp, stats: g.stats, evalStats: g.evalStats, profile: g.profile}, nil
 	case BITMAP:
 		out, _, err := dedup.Bitmap2(g.c, o)
 		if err != nil {
 			return nil, err
 		}
-		return &Graph{c: out, stats: g.stats, evalStats: g.evalStats}, nil
+		return &Graph{c: out, stats: g.stats, evalStats: g.evalStats, profile: g.profile}, nil
 	case DEDUP1:
 		out, _, err := dedup.Dedup1GreedyVirtualFirst(g.c, o)
 		if err != nil {
 			return nil, err
 		}
-		return &Graph{c: out, stats: g.stats, evalStats: g.evalStats}, nil
+		return &Graph{c: out, stats: g.stats, evalStats: g.evalStats, profile: g.profile}, nil
 	case DEDUP2:
 		out, _, err := dedup.Dedup2Greedy(g.c, o)
 		if err != nil {
 			return nil, err
 		}
-		return &Graph{c: out, stats: g.stats, evalStats: g.evalStats}, nil
+		return &Graph{c: out, stats: g.stats, evalStats: g.evalStats, profile: g.profile}, nil
 	default:
 		return nil, ErrUnsupported
 	}
@@ -160,7 +163,7 @@ func (g *Graph) AsDedup1(alg Dedup1Algorithm, o DedupOptions) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{c: out, stats: g.stats, evalStats: g.evalStats}, nil
+	return &Graph{c: out, stats: g.stats, evalStats: g.evalStats, profile: g.profile}, nil
 }
 
 // --- analysis (Section 6 algorithms) ---

@@ -200,7 +200,7 @@ func (e *Engine) Extract(dsl string, opts ...Option) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{c: res.Graph, stats: res.Stats}, nil
+	return &Graph{c: res.Graph, stats: res.Stats, profile: o.Trace.Finish()}, nil
 }
 
 // ExtractBatched extracts several programs and groups the resulting graphs

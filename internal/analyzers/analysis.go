@@ -15,6 +15,8 @@
 //   - lockedreturn: a return must not leak a held sync.Mutex/RWMutex
 //   - iterclose:   a row iterator acquired in relstore/extract/datalogeval
 //     must be closed or handed off (consumer call, return, store)
+//   - spanend:     a trace span started in relstore/extract/datalogeval
+//     must be ended or handed off (End call, owner handoff, return, store)
 //
 // Each analyzer inspects one type-checked package at a time (a Pass) and
 // reports diagnostics. RunAnalyzers applies the suppression policy: a
@@ -207,6 +209,7 @@ func All() []*Analyzer {
 		LockedReturnAnalyzer,
 		LockOrderAnalyzer,
 		NotifyOrderAnalyzer,
+		SpanEndAnalyzer,
 	}
 }
 

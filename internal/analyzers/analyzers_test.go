@@ -63,6 +63,19 @@ func TestIterCloseScoped(t *testing.T) {
 	}
 }
 
+func TestSpanEnd(t *testing.T) {
+	lintest.Run(t, analyzers.SpanEndAnalyzer, "graphgen/internal/extract", "testdata/src/spanend/flagged")
+	lintest.Run(t, analyzers.SpanEndAnalyzer, "graphgen/internal/extract", "testdata/src/spanend/clean")
+}
+
+// TestSpanEndScoped: outside the traced execution packages the analyzer
+// stays silent, even on leaky code.
+func TestSpanEndScoped(t *testing.T) {
+	if diags := lintest.Diagnostics(t, analyzers.SpanEndAnalyzer, "graphgen/internal/fixture", "testdata/src/spanend/flagged"); len(diags) != 0 {
+		t.Fatalf("spanend fired outside relstore/extract/datalogeval: %v", diags)
+	}
+}
+
 func TestLockedReturn(t *testing.T) {
 	lintest.Run(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/lockedreturn/flagged")
 	lintest.Run(t, analyzers.LockedReturnAnalyzer, "graphgen/internal/fixture", "testdata/src/lockedreturn/clean")
@@ -101,10 +114,10 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
-// TestAllStable pins the suite composition: six analyzers, stable order,
-// unique names — the names are part of the lint:ignore contract.
+// TestAllStable pins the suite composition: seven analyzers, stable
+// order, unique names — the names are part of the lint:ignore contract.
 func TestAllStable(t *testing.T) {
-	want := []string{"determinism", "iterclose", "keyencode", "lockedreturn", "lockorder", "notifyorder"}
+	want := []string{"determinism", "iterclose", "keyencode", "lockedreturn", "lockorder", "notifyorder", "spanend"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

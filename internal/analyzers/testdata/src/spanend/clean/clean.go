@@ -1,0 +1,72 @@
+// Every discharge shape the span contract allows: a direct End, a
+// deferred End, a handoff to an owner (call argument, like relstore's
+// traced wrapper), a store into a struct, a return, and a capture by a
+// cleanup closure.
+package fixture
+
+type fakeSpan struct {
+	strategy string
+	rows     int64
+	ended    bool
+}
+
+func (s *fakeSpan) End()                  { s.ended = true }
+func (s *fakeSpan) SetStrategy(st string) { s.strategy = st }
+func (s *fakeSpan) AddRows(n int64)       { s.rows += n }
+
+type fakeTrace struct{}
+
+func (t *fakeTrace) Push(op, detail string) *fakeSpan      { return &fakeSpan{} }
+func (t *fakeTrace) StartSpan(op, detail string) *fakeSpan { return &fakeSpan{} }
+
+type iter struct{ span *fakeSpan }
+
+func traced(it *iter, sp *fakeSpan) *iter { return it }
+
+// directEnd ends on both the error and the success path.
+func directEnd(tr *fakeTrace, fail bool) error {
+	sp := tr.Push("rule", "Edges")
+	if fail {
+		sp.End()
+		return nil
+	}
+	sp.AddRows(3)
+	sp.End()
+	return nil
+}
+
+// deferredEnd is the standard container shape.
+func deferredEnd(tr *fakeTrace) {
+	sp := tr.Push("stratum", "Reach")
+	defer sp.End()
+	sp.AddRows(1)
+}
+
+// handoff gives the span to an owner that ends it later, the traced()
+// wrapper shape.
+func handoff(tr *fakeTrace) *iter {
+	sp := tr.StartSpan("scan", "T")
+	sp.SetStrategy("table")
+	return traced(&iter{}, sp)
+}
+
+// storeAndReturn parks the span in a struct whose Close will end it.
+func storeAndReturn(tr *fakeTrace) *iter {
+	sp := tr.StartSpan("table_join", "T on A")
+	return &iter{span: sp}
+}
+
+// closureCapture defers the End through a cleanup closure.
+func closureCapture(tr *fakeTrace) {
+	sp := tr.Push("round", "delta 1")
+	defer func() { sp.End() }()
+	sp.AddRows(2)
+}
+
+// reassigned discharges each acquisition in turn.
+func reassigned(tr *fakeTrace) {
+	sp := tr.Push("round", "seed")
+	sp.End()
+	sp = tr.Push("round", "delta 1")
+	sp.End()
+}

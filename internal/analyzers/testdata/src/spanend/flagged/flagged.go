@@ -1,0 +1,50 @@
+// Trace spans started and then abandoned: annotated but never ended,
+// or ended on one arm of a branch only before the acquisition.
+package fixture
+
+// fakeSpan has the span shape (End + SetStrategy); detection is
+// structural, so the fixture needs no obs import.
+type fakeSpan struct {
+	strategy string
+	rows     int64
+	ended    bool
+}
+
+func (s *fakeSpan) End()                  { s.ended = true }
+func (s *fakeSpan) SetStrategy(st string) { s.strategy = st }
+func (s *fakeSpan) AddRows(n int64)       { s.rows += n }
+
+type fakeTrace struct{}
+
+func (t *fakeTrace) Push(op, detail string) *fakeSpan      { return &fakeSpan{} }
+func (t *fakeTrace) StartSpan(op, detail string) *fakeSpan { return &fakeSpan{} }
+
+// annotateLeak measures the work and forgets the End — the classic leak
+// this analyzer exists for.
+func annotateLeak(tr *fakeTrace, n int64) {
+	sp := tr.StartSpan("scan", "T") // want `spanend: span sp is started but never ended or handed off`
+	sp.SetStrategy("index")
+	sp.AddRows(n)
+}
+
+// earlyReturnLeak ends the span on the happy path but acquires a second
+// one inside the branch with no discharging use after it.
+func earlyReturnLeak(tr *fakeTrace, fail bool) error {
+	sp := tr.Push("rule", "Edges")
+	defer sp.End()
+	if fail {
+		inner := tr.StartSpan("join", "a,b") // want `spanend: span inner is started but never ended or handed off`
+		inner.AddRows(1)
+		return nil
+	}
+	return nil
+}
+
+// endBeforeAcquire: an End on a same-named earlier span does not satisfy
+// a later acquisition (discharges are positional).
+func endBeforeAcquire(tr *fakeTrace) {
+	sp := tr.Push("round", "seed")
+	sp.End()
+	sp = tr.Push("round", "delta 1") // want `spanend: span sp is started but never ended or handed off`
+	sp.AddRows(2)
+}

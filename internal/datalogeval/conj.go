@@ -288,7 +288,7 @@ func (ev *evaluator) exec() relstore.ExecOpts {
 	if ev.opts.NoIndex {
 		mode = relstore.IndexOff
 	}
-	return relstore.ExecOpts{Workers: ev.opts.Workers, UseIndex: mode, Tracker: ev.tracker}
+	return relstore.ExecOpts{Workers: ev.opts.Workers, UseIndex: mode, Tracker: ev.tracker, Trace: ev.opts.Trace}
 }
 
 // stage is the per-operator boundary. In NoStream mode it materializes

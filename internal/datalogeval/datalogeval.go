@@ -37,6 +37,7 @@ import (
 
 	"graphgen/internal/datalog"
 	"graphgen/internal/extract"
+	"graphgen/internal/obs"
 	"graphgen/internal/relstore"
 )
 
@@ -67,6 +68,13 @@ type Options struct {
 	// oracle and the peak-memory benchmark baseline, mirroring
 	// extract.Options.NoStream.
 	NoStream bool
+	// Trace, when non-nil, collects the evaluation's execution tree:
+	// one container span per stratum, per fixpoint round, and per rule
+	// derivation, with the relational operator spans underneath. Round
+	// spans carry the fresh-tuple count, so their row totals sum to
+	// Stats.DerivedTuples. Nil (the default) disables tracing at zero
+	// cost.
+	Trace *obs.Trace
 }
 
 // Stats describes one program evaluation.
@@ -153,11 +161,14 @@ func Evaluate(base *relstore.DB, ps *datalog.ProgramSet, opts Options) (*Result,
 		extract.EnsureIndexes(ov, ps.IDB)
 	}
 	ev.stats.Strata = len(strata.Levels)
+	psp := opts.Trace.Push("program_eval", "")
 	for _, level := range strata.Levels {
 		if err := ev.evalStratum(ps, level); err != nil {
+			psp.End()
 			return nil, err
 		}
 	}
+	psp.End()
 	ev.stats.PeakIntermediateRows = ev.tracker.Peak()
 	ev.stats.Duration = time.Since(start)
 	return &Result{
@@ -363,6 +374,8 @@ type compiledRule struct {
 // evalStratum runs the fixpoint loop for one stratum (a set of mutually
 // recursive predicates, lowercased).
 func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
+	ssp := ev.opts.Trace.Push("stratum", strings.Join(level, ","))
+	defer ssp.End()
 	inLevel := make(map[string]struct{}, len(level))
 	for _, p := range level {
 		inLevel[p] = struct{}{}
@@ -411,24 +424,24 @@ func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
 
 	// Seeding round: every rule once against the current state (stratum
 	// tables empty, lower strata complete).
+	rsp := ev.opts.Trace.Push("round", "seed")
 	delta := make(map[string][][]relstore.Value)
 	for _, cr := range rules {
-		body, err := ev.evalRuleBody(cr, -1, nil)
+		fresh, err := ev.deriveRule(cr, -1, nil)
 		if err != nil {
+			rsp.End()
 			return err
 		}
-		fresh, err := ev.insert(cr.rule.Head, body)
-		if err != nil {
-			return err
-		}
+		rsp.AddRows(int64(len(fresh)))
 		pred := strings.ToLower(cr.rule.Head.Pred)
 		delta[pred] = append(delta[pred], fresh...)
 	}
+	rsp.End()
 	ev.stats.Iterations++
 
 	// Delta rounds: re-derive only through rules with a recursive atom,
 	// substituting the delta for one occurrence at a time.
-	for {
+	for round := 1; ; round++ {
 		any := false
 		for _, rows := range delta {
 			if len(rows) > 0 {
@@ -439,6 +452,7 @@ func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
 		if !any {
 			return nil
 		}
+		rsp := ev.opts.Trace.Push("round", fmt.Sprintf("delta %d", round))
 		next := make(map[string][][]relstore.Value)
 		for _, cr := range rules {
 			for _, occ := range cr.recOcc {
@@ -446,41 +460,62 @@ func (ev *evaluator) evalStratum(ps *datalog.ProgramSet, level []string) error {
 				if len(delta[dpred]) == 0 {
 					continue
 				}
-				body, err := ev.evalRuleBody(cr, occ, delta[dpred])
+				fresh, err := ev.deriveRule(cr, occ, delta[dpred])
 				if err != nil {
+					rsp.End()
 					return err
 				}
-				fresh, err := ev.insert(cr.rule.Head, body)
-				if err != nil {
-					return err
-				}
+				rsp.AddRows(int64(len(fresh)))
 				pred := strings.ToLower(cr.rule.Head.Pred)
 				next[pred] = append(next[pred], fresh...)
 			}
 		}
+		rsp.End()
 		ev.stats.Iterations++
 		delta = next
 	}
 }
 
+// deriveRule evaluates one rule body (against the delta occurrence, if
+// any) and inserts the result, under a per-derivation trace span whose
+// row count is the fresh tuples the derivation contributed.
+func (ev *evaluator) deriveRule(cr *compiledRule, deltaOcc int, deltaRows [][]relstore.Value) ([][]relstore.Value, error) {
+	dsp := ev.opts.Trace.Push("rule", cr.rule.Head.String())
+	if deltaOcc >= 0 {
+		dsp.Set("delta_occurrence", int64(deltaOcc))
+		dsp.Set("delta_rows", int64(len(deltaRows)))
+	}
+	defer dsp.End()
+	body, err := ev.evalRuleBody(cr, deltaOcc, deltaRows)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := ev.insert(cr.rule.Head, body)
+	if err != nil {
+		return nil, err
+	}
+	dsp.AddRows(int64(len(fresh)))
+	return fresh, nil
+}
+
 // evalStratumNaive is the benchmark baseline: re-evaluate every rule
 // against the full relations until a full round derives nothing new.
 func (ev *evaluator) evalStratumNaive(rules []*compiledRule) error {
-	for {
+	for round := 1; ; round++ {
+		rsp := ev.opts.Trace.Push("round", fmt.Sprintf("naive %d", round))
 		changed := false
 		for _, cr := range rules {
-			body, err := ev.evalRuleBody(cr, -1, nil)
+			fresh, err := ev.deriveRule(cr, -1, nil)
 			if err != nil {
+				rsp.End()
 				return err
 			}
-			fresh, err := ev.insert(cr.rule.Head, body)
-			if err != nil {
-				return err
-			}
+			rsp.AddRows(int64(len(fresh)))
 			if len(fresh) > 0 {
 				changed = true
 			}
 		}
+		rsp.End()
 		ev.stats.Iterations++
 		if !changed {
 			return nil

@@ -109,10 +109,14 @@ func PlanEdges(db *relstore.DB, rule datalog.Rule, opts Options) (*EdgePlan, err
 func wirePlan(db *relstore.DB, g *core.Graph, plan *EdgePlan, opts Options, st *Stats) error {
 	rels := make([]*relstore.Rel, len(plan.Segments))
 	for i, s := range plan.Segments {
+		sp := opts.Trace.Push("segment", s.InVar+"->"+s.OutVar)
 		rel, err := EvalConjunctive(db, s.Atoms, []string{s.InVar, s.OutVar}, true, opts)
 		if err != nil {
+			sp.End()
 			return err
 		}
+		sp.AddRows(int64(len(rel.Rows)))
+		sp.End()
 		rels[i] = rel
 	}
 

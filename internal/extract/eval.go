@@ -82,7 +82,7 @@ func execOpts(opts Options) relstore.ExecOpts {
 	if opts.NoIndex {
 		mode = relstore.IndexOff
 	}
-	return relstore.ExecOpts{Workers: opts.Workers, UseIndex: mode, Tracker: opts.Tracker}
+	return relstore.ExecOpts{Workers: opts.Workers, UseIndex: mode, Tracker: opts.Tracker, Trace: opts.Trace}
 }
 
 // stage is the NoStream oracle's boundary: it materializes the pipeline

@@ -11,6 +11,7 @@ import (
 
 	"graphgen/internal/core"
 	"graphgen/internal/datalog"
+	"graphgen/internal/obs"
 	"graphgen/internal/relstore"
 )
 
@@ -69,6 +70,12 @@ type Options struct {
 	// Stats.PeakIntermediateRows). Extract installs one automatically
 	// when unset.
 	Tracker *relstore.Tracker
+	// Trace, when non-nil, collects the extraction's execution tree: a
+	// container span per Nodes rule, Edges rule, and chain segment, with
+	// one child span per relational operator underneath. Nil (the
+	// default) disables tracing at zero cost. A Trace belongs to one
+	// extraction — callers must not share it across concurrent runs.
+	Trace *obs.Trace
 }
 
 // DefaultOptions mirror the paper's settings.
@@ -119,6 +126,8 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 	if opts.Tracker == nil {
 		opts.Tracker = relstore.NewTracker()
 	}
+	xsp := opts.Trace.Push("extract", "")
+	defer xsp.End()
 	g := core.New(core.CDUP)
 	g.SelfLoops = opts.SelfLoops
 	res := &Result{Graph: g}
@@ -140,21 +149,28 @@ func Extract(db *relstore.DB, prog *datalog.Program, opts Options) (*Result, err
 	// segments), then materialize.
 	symmetric := true
 	for _, rule := range prog.Edges {
+		rsp := opts.Trace.Push("edges_rule", rule.Head.String())
 		plan, err := PlanEdges(db, rule, opts)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		if plan.Case2 {
 			res.Stats.Case2Rules++
+			rsp.Set("case2", 1)
 		}
 		if !plan.Symmetric {
 			symmetric = false
 		}
 		res.Stats.LargeOutputJoins += plan.LargeJoins
 		res.Stats.DatabaseJoins += plan.DatabaseJoins
+		rsp.Set("large_joins", int64(plan.LargeJoins))
+		rsp.Set("database_joins", int64(plan.DatabaseJoins))
 		if err := wirePlan(db, g, plan, opts, &res.Stats); err != nil {
+			rsp.End()
 			return nil, err
 		}
+		rsp.End()
 	}
 	g.Symmetric = symmetric
 	g.SortAdjacency()
@@ -195,10 +211,13 @@ func LoadNodes(db *relstore.DB, g *core.Graph, rule datalog.Rule, opts Options) 
 		}
 		outVars = append(outVars, t.Var)
 	}
+	sp := opts.Trace.Push("nodes_rule", rule.Head.String())
+	defer sp.End()
 	rel, err := EvalConjunctive(db, rule.Body, outVars, true, opts)
 	if err != nil {
 		return err
 	}
+	sp.AddRows(int64(len(rel.Rows)))
 	for _, row := range rel.Rows {
 		if row[0].T != relstore.Int {
 			return fmt.Errorf("extract: node ID attribute must be an integer column (rule %s)", rule.Head)

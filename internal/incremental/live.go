@@ -128,6 +128,10 @@ func New(db *relstore.DB, prog *datalog.Program, opts extract.Options) (*Live, e
 	opts.SkipPreprocess = true
 	opts.AutoExpandFactor = 0
 	lv := &Live{db: db, prog: prog, opts: opts}
+	// A trace is scoped to one query execution; the initial build below
+	// is traced, but per-update maintenance and later rebuilds outlive
+	// the request that configured the trace and must not append to it.
+	defer func() { lv.opts.Trace = nil }()
 	// Create the program's indexes before the initial build and before
 	// subscribing: indexes are maintained inside the mutation path ahead
 	// of change-log subscribers, so the delta evaluation in onChange can

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the tail,
+// so a histogram always accounts for every observation. Buckets are
+// fixed at construction — the serving tier wants stable, comparable
+// series, not adaptive ones.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
+}
+
+// ExpBuckets returns n exponential upper bounds: start, start*factor,
+// start*factor², ... — the scheme every GraphGen histogram uses, so a
+// bucket layout is describable as (start, factor, n).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (typically from ExpBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value. Safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// A Bucket is one cumulative histogram bucket: Count observations were
+// <= LE (Prometheus convention; the final bucket has LE = +Inf).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders LE as a string ("0.001", ..., "+Inf"):
+// encoding/json rejects non-finite floats, and every snapshot ends with
+// the +Inf terminator bucket.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// HistSnapshot is a point-in-time copy of a histogram with cumulative
+// bucket counts, ready for JSON or Prometheus rendering.
+type HistSnapshot struct {
+	Buckets []Bucket `json:"buckets"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+}
+
+// Snapshot returns the histogram's current cumulative view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.count, Sum: h.sum,
+		Buckets: make([]Bucket, len(h.counts))}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{LE: le, Count: cum}
+	}
+	return s
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// under the metric name, with labels (already formatted as
+// `k="v",k2="v2"`, or empty) applied to every series.
+func (s HistSnapshot) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, b.Count)
+	}
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, brace, strconv.FormatFloat(s.Sum, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, brace, s.Count)
+}
+
+// PromLabel formats one key="value" label pair, escaping the value per
+// the Prometheus text format (backslash, quote, newline).
+func PromLabel(key, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(value) + `"`
+}

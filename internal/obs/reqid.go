@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+var reqidFallback atomic.Uint64
+
+// NewRequestID returns a 16-hex-character opaque correlation ID for one
+// HTTP request. IDs are random, not sequential: they leak nothing about
+// request volume and are safe to hand to clients.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on the platforms
+		// we serve from, but a request must still get a unique handle.
+		v := reqidFallback.Add(1)
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied X-Request-Id is safe
+// to propagate into logs and response envelopes: short and drawn from a
+// charset that cannot smuggle label separators or log line breaks.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

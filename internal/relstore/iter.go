@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"graphgen/internal/obs"
 	"graphgen/internal/parallel"
 )
 
@@ -90,6 +91,11 @@ type ExecOpts struct {
 	// materialized (build sides, distinct seen-sets, bucket gathers —
 	// and, in the NoStream oracle mode, whole staged relations).
 	Tracker *Tracker
+	// Trace, when non-nil, collects one span per operator constructed
+	// under these opts: kind, strategy, rows out, batches, wall time.
+	// Nil (the default) is the zero-overhead fast path — constructors
+	// test this one pointer and skip the span machinery entirely.
+	Trace *obs.Trace
 }
 
 // Tracker accounts materialized intermediate rows across a pipeline (or
@@ -249,6 +255,7 @@ type expandIter struct {
 	in      [][]Value
 	buf     [][]Value
 	bufPos  int
+	nbatch  int64
 	srcDone bool
 	closed  bool
 }
@@ -285,6 +292,7 @@ func (it *expandIter) Next() (Row, bool, error) {
 		if len(it.in) == 0 {
 			continue
 		}
+		it.nbatch++
 		chunks := parallel.MapChunks(len(it.in), it.workers, 0, func(lo, hi int) [][]Value {
 			var out [][]Value
 			emit := func(r Row) { out = append(out, r) }
@@ -296,6 +304,8 @@ func (it *expandIter) Next() (Row, bool, error) {
 		it.buf, it.bufPos = concatChunks(chunks), 0
 	}
 }
+
+func (it *expandIter) batches() int64 { return it.nbatch }
 
 func (it *expandIter) Close() error {
 	if it.closed {
@@ -356,6 +366,15 @@ func NewScan(t *Table, preds []Pred, cols []int, names []string, opts ExecOpts) 
 		}
 	}
 	outCols := append([]string(nil), names...)
+	var sp *obs.Span
+	if opts.Trace != nil {
+		sp = opts.Trace.StartSpan("scan", t.Name)
+		if useIndex {
+			sp.SetStrategy("index")
+		} else {
+			sp.SetStrategy("table")
+		}
+	}
 	if useIndex {
 		rest := make([]Pred, 0, len(preds)-1)
 		for i, p := range preds {
@@ -364,9 +383,9 @@ func NewScan(t *Table, preds []Pred, cols []int, names []string, opts ExecOpts) 
 			}
 		}
 		src := &bucketIter{bucket: ix.buckets[hashKey(preds[pi].Value)]}
-		return newExpandIter(outCols, src, 1, selectFn(rest, nil, cols)), nil
+		return traced(newExpandIter(outCols, src, 1, selectFn(rest, nil, cols)), sp), nil
 	}
-	return newExpandIter(outCols, IterRows(nil, t.Rows), opts.Workers, selectFn(preds, nil, cols)), nil
+	return traced(newExpandIter(outCols, IterRows(nil, t.Rows), opts.Workers, selectFn(preds, nil, cols)), sp), nil
 }
 
 // bucketIter walks one index bucket's rows in seq (= table) order,
@@ -398,17 +417,25 @@ func (it *bucketIter) Close() error { return nil }
 // pattern compilers used to materialize.
 func NewSelect(rows [][]Value, preds []Pred, equalities [][2]int, cols []int, names []string, opts ExecOpts) RowIter {
 	outCols := append([]string(nil), names...)
-	return newExpandIter(outCols, IterRows(nil, rows), opts.Workers, selectFn(preds, equalities, cols))
+	it := newExpandIter(outCols, IterRows(nil, rows), opts.Workers, selectFn(preds, equalities, cols))
+	if opts.Trace == nil {
+		return it
+	}
+	return traced(it, opts.Trace.StartSpan("select", ""))
 }
 
 // NewFilter streams src through a row predicate, keeping the schema.
 // keep must be pure (it runs concurrently across a window).
 func NewFilter(src RowIter, opts ExecOpts, keep func(Row) bool) RowIter {
-	return newExpandIter(src.Cols(), src, opts.Workers, func(row Row, emit func(Row)) {
+	it := newExpandIter(src.Cols(), src, opts.Workers, func(row Row, emit func(Row)) {
 		if keep(row) {
 			emit(row)
 		}
 	})
+	if opts.Trace == nil {
+		return it
+	}
+	return traced(it, opts.Trace.StartSpan("filter", ""))
 }
 
 // joinKey encodes the composite join key of row at the given column
@@ -466,6 +493,13 @@ func (it *buildProbeIter) Next() (Row, bool, error) {
 	return it.inner.Next()
 }
 
+func (it *buildProbeIter) batches() int64 {
+	if bc, ok := it.inner.(batchCounter); ok {
+		return bc.batches()
+	}
+	return 0
+}
+
 func (it *buildProbeIter) Close() error {
 	if it.closed {
 		return nil
@@ -520,7 +554,12 @@ func NewJoin(a, b RowIter, shared []string, opts ExecOpts) (RowIter, error) {
 		}
 	}
 	nOut := len(cols)
-	return &buildProbeIter{cols: cols, build: a, probe: b, opts: opts,
+	var sp *obs.Span
+	if opts.Trace != nil {
+		sp = opts.Trace.StartSpan("join", strings.Join(shared, ","))
+		sp.SetStrategy("hash build=left")
+	}
+	return traced(&buildProbeIter{cols: cols, build: a, probe: b, opts: opts,
 		mk: func(rows [][]Value) func(Row, func(Row)) {
 			table := make(map[string][][]Value, len(rows))
 			for _, row := range rows {
@@ -539,7 +578,7 @@ func NewJoin(a, b RowIter, shared []string, opts ExecOpts) (RowIter, error) {
 					emit(joined)
 				}
 			}
-		}}, nil
+		}}, sp), nil
 }
 
 // NewHashJoin streams the equi-join of a and b on one column each (the
@@ -565,7 +604,12 @@ func NewHashJoin(a, b RowIter, aCol, bCol string, opts ExecOpts) (RowIter, error
 	}
 	nOut := len(cols)
 	aIdx, bIdx := []int{ai}, []int{bi}
-	return &buildProbeIter{cols: cols, build: a, probe: b, opts: opts,
+	var sp *obs.Span
+	if opts.Trace != nil {
+		sp = opts.Trace.StartSpan("hash_join", aCol+"="+bCol)
+		sp.SetStrategy("hash build=left")
+	}
+	return traced(&buildProbeIter{cols: cols, build: a, probe: b, opts: opts,
 		mk: func(rows [][]Value) func(Row, func(Row)) {
 			table := make(map[string][][]Value, len(rows))
 			for _, row := range rows {
@@ -584,7 +628,7 @@ func NewHashJoin(a, b RowIter, aCol, bCol string, opts ExecOpts) (RowIter, error
 					emit(joined)
 				}
 			}
-		}}, nil
+		}}, sp), nil
 }
 
 // NewCross streams the cross product: a drains, b streams, one output
@@ -592,7 +636,12 @@ func NewHashJoin(a, b RowIter, aCol, bCol string, opts ExecOpts) (RowIter, error
 func NewCross(a, b RowIter, opts ExecOpts) RowIter {
 	cols := append(append([]string(nil), a.Cols()...), b.Cols()...)
 	nOut := len(cols)
-	return &buildProbeIter{cols: cols, build: a, probe: b, opts: opts,
+	var sp *obs.Span
+	if opts.Trace != nil {
+		sp = opts.Trace.StartSpan("cross", "")
+		sp.SetStrategy("build=left")
+	}
+	return traced(&buildProbeIter{cols: cols, build: a, probe: b, opts: opts,
 		mk: func(rows [][]Value) func(Row, func(Row)) {
 			return func(brow Row, emit func(Row)) {
 				for _, arow := range rows {
@@ -602,7 +651,7 @@ func NewCross(a, b RowIter, opts ExecOpts) RowIter {
 					emit(joined)
 				}
 			}
-		}}
+		}}, sp)
 }
 
 // NewTableJoin streams the equi-join of cur against the
@@ -665,9 +714,15 @@ func NewTableJoin(cur RowIter, t *Table, preds []Pred, cols []int, names []strin
 			outCols = append(outCols, n)
 		}
 	}
-	return &tableJoinIter{cols: outCols, cur: cur, t: t, ix: ix,
+	var sp *obs.Span
+	if opts.Trace != nil {
+		// The access-path choice is deferred until the build side has
+		// drained; start() records it on this span when it happens.
+		sp = opts.Trace.StartSpan("table_join", t.Name+" on "+strings.Join(shared, ","))
+	}
+	return traced(&tableJoinIter{cols: outCols, cur: cur, t: t, ix: ix,
 		preds: preds, tCols: cols, names: names,
-		ci: ci, ni: ni, nShared: nShared, opts: opts}, nil
+		ci: ci, ni: ni, nShared: nShared, opts: opts, span: sp}, sp), nil
 }
 
 // tableJoinIter implements NewTableJoin. The build drain, access-path
@@ -685,6 +740,7 @@ type tableJoinIter struct {
 	ci, ni  []int
 	nShared []bool
 	opts    ExecOpts
+	span    *obs.Span // records the deferred access-path choice; may be nil
 
 	inner  RowIter
 	held   int
@@ -737,6 +793,12 @@ func (it *tableJoinIter) start() error {
 	it.opts.Tracker.Acquire(it.held)
 	useIndex := it.ix != nil &&
 		(it.opts.UseIndex == IndexForce || 2*len(rows) <= it.ix.NKeys())
+	if useIndex {
+		it.span.SetStrategy("index")
+	} else {
+		it.span.SetStrategy("scan")
+	}
+	it.span.Set("build_rows", int64(len(rows)))
 	nOut := len(it.cols)
 	if useIndex {
 		// Gather the matching table rows and restore table order:
@@ -781,6 +843,9 @@ func (it *tableJoinIter) start() error {
 	if scanOpts.UseIndex == IndexForce {
 		scanOpts.UseIndex = IndexAuto
 	}
+	// The inner scan is an implementation detail of this operator's scan
+	// path; suppress its span so the table join is one node, not two.
+	scanOpts.Trace = nil
 	scan, err := NewScan(it.t, it.preds, it.tCols, it.names, scanOpts)
 	if err != nil {
 		return err
@@ -800,6 +865,13 @@ func (it *tableJoinIter) start() error {
 	}
 	it.inner = newExpandIter(it.cols, scan, it.opts.Workers, kernel)
 	return nil
+}
+
+func (it *tableJoinIter) batches() int64 {
+	if bc, ok := it.inner.(batchCounter); ok {
+		return bc.batches()
+	}
+	return 0
 }
 
 func (it *tableJoinIter) Close() error {
@@ -854,17 +926,24 @@ func NewProject(src RowIter, cols []string, distinct bool, opts ExecOpts) (RowIt
 		idx[i] = j
 	}
 	outCols := append([]string(nil), cols...)
-	if distinct {
-		return &distinctIter{cols: outCols, src: src, idx: idx, opts: opts,
-			seen: make(map[string]struct{})}, nil
+	var sp *obs.Span
+	if opts.Trace != nil {
+		sp = opts.Trace.StartSpan("project", strings.Join(cols, ","))
+		if distinct {
+			sp.SetStrategy("distinct")
+		}
 	}
-	return newExpandIter(outCols, src, opts.Workers, func(row Row, emit func(Row)) {
+	if distinct {
+		return traced(&distinctIter{cols: outCols, src: src, idx: idx, opts: opts,
+			seen: make(map[string]struct{})}, sp), nil
+	}
+	return traced(newExpandIter(outCols, src, opts.Workers, func(row Row, emit func(Row)) {
 		proj := make([]Value, len(idx))
 		for i, j := range idx {
 			proj[i] = row[j]
 		}
 		emit(proj)
-	}), nil
+	}), sp), nil
 }
 
 // distinctIter is the streaming SELECT DISTINCT projection.

@@ -18,9 +18,29 @@
 //	GET    /v1/healthz                         liveness
 //	GET    /v1/metrics                         request/latency/cache counters
 //
-// Errors are a structured envelope with a stable machine-readable code:
+// Every response carries an X-Request-Id header (a client-supplied one
+// is honored when it matches [A-Za-z0-9_-]{1,64}, else the server mints
+// one); errors are a structured envelope with a stable machine-readable
+// code and the same request id, which also tags the structured log line
+// for the request:
 //
-//	{"error": {"code": "session_not_found", "message": "no session \"x\""}}
+//	{"error": {"code": "session_not_found", "message": "no session \"x\"", "request_id": "d41d8cd98f00b204"}}
+//
+// EXPLAIN/ANALYZE: POST /v1/graphs accepts ?explain=true and
+// ?analyze=true — either one records an operator-span execution trace of
+// the extraction (graphgen.WithProfile); explain adds a "plan" field
+// (structure only: operator kinds, access-path strategies) and analyze a
+// "profile" field (the full tree with rows, batches, and wall time) to
+// the create response. The trace is kept on the session, so the analyze
+// endpoints accept the same parameters to re-attach the build plan or
+// profile to any later response.
+//
+// Observability: /v1/metrics serves JSON by default and the Prometheus
+// text format with ?format=prometheus (request counts by status class,
+// per-route latency histograms, evaluation-depth and derived-tuple
+// histograms). Options.EnablePprof mounts net/http/pprof under
+// /debug/pprof on this mux — off by default, and meant to stay off on
+// any publicly reachable listener.
 //
 // Sessions created with a "program" body field evaluate a multi-rule
 // Datalog program (derived predicates, recursion, stratified negation,
@@ -53,7 +73,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"slices"
 	"sort"
 	"strconv"
@@ -63,6 +85,7 @@ import (
 	"time"
 
 	"graphgen"
+	"graphgen/internal/obs"
 	"graphgen/internal/workload"
 )
 
@@ -84,6 +107,17 @@ type Options struct {
 	// lower the bound per session ("max_derived_tuples") but not raise
 	// it past this cap.
 	MaxDerivedTuples int64
+	// Logger receives one structured line per request (request_id,
+	// method, route, status, duration) and one per error envelope. Nil
+	// discards logs — the Server never writes to a default destination
+	// on its own.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the
+	// Server's mux. Off by default: the profiling surface exposes heap
+	// contents and must never be reachable on a public listener unless
+	// an operator explicitly opts in (cmd/graphgend gates it behind
+	// -pprof).
+	EnablePprof bool
 }
 
 // defaultMaxDerivedTuples caps program-evaluation materialization when
@@ -105,6 +139,10 @@ type session struct {
 	static  *graphgen.Graph
 	live    *graphgen.LiveGraph
 	created time.Time
+	// profile is the execution trace of the extraction that built the
+	// session, recorded when the create request asked for
+	// explain/analyze; nil otherwise. Immutable once set.
+	profile *graphgen.Profile
 }
 
 // Server is the graph-serving daemon core, independent of the listener:
@@ -127,6 +165,7 @@ type Server struct {
 
 	cache   *resultCache
 	metrics *metrics
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	// dbIndexes caches the last observed secondary-index count for
@@ -149,6 +188,10 @@ func New(engine *graphgen.Engine, opts Options) *Server {
 	if opts.MaxDerivedTuples < 0 {
 		opts.MaxDerivedTuples = 0 // explicit opt-out of the guard
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		engine:           engine,
 		maxDerivedTuples: opts.MaxDerivedTuples,
@@ -156,6 +199,7 @@ func New(engine *graphgen.Engine, opts Options) *Server {
 		maxSessions:      opts.MaxSessions,
 		cache:            newResultCache(opts.CacheEntries, opts.CacheBytes),
 		metrics:          newMetrics(),
+		logger:           logger,
 	}
 	s.mux = http.NewServeMux()
 	// Every endpoint registers twice: the canonical versioned pattern under
@@ -166,8 +210,8 @@ func New(engine *graphgen.Engine, opts Options) *Server {
 	route := func(method, path string, h http.HandlerFunc) {
 		v1 := method + " /v1" + path
 		legacy := method + " " + path
-		s.mux.HandleFunc(v1, s.metrics.instrument(v1, h))
-		s.mux.HandleFunc(legacy, s.metrics.instrument(legacy+" (deprecated)", h))
+		s.mux.HandleFunc(v1, s.instrument(v1, h))
+		s.mux.HandleFunc(legacy, s.instrument(legacy+" (deprecated)", h))
 	}
 	route("POST", "/graphs", s.handleCreateGraph)
 	route("GET", "/graphs", s.handleListGraphs)
@@ -179,7 +223,66 @@ func New(engine *graphgen.Engine, opts Options) *Server {
 	route("POST", "/db/{table}/delete", s.handleMutate("delete"))
 	route("GET", "/healthz", s.handleHealthz)
 	route("GET", "/metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		// Deliberately not registered through route(): the profiling
+		// surface is unversioned, opt-in, and uninstrumented (a pprof
+		// CPU profile runs for its full duration and would skew the
+		// latency histograms it exists to explain).
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// instrument wraps a handler with the serving-tier observability stack:
+// it assigns the request id (honoring a well-formed client X-Request-Id,
+// so ids can propagate through a calling service), sets it on the
+// response header before the handler runs (which is how s.error and the
+// error envelope recover it without threading a context value), then
+// times the request, records it in the per-route metrics, and emits one
+// structured log line.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if !obs.ValidRequestID(reqID) {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(route, rec.status, elapsed)
+		level := slog.LevelInfo
+		switch {
+		case rec.status >= 500:
+			level = slog.LevelError
+		case rec.status >= 400:
+			level = slog.LevelWarn
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Float64("duration_ms", float64(elapsed.Nanoseconds())/1e6),
+		)
+	}
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -240,16 +343,32 @@ const (
 	codeInternal         = "internal"          // unexpected server-side failure
 )
 
-// errorBody is the inner object of the error envelope.
+// errorBody is the inner object of the error envelope. RequestID echoes
+// the X-Request-Id the instrument middleware assigned, so a client error
+// report can be joined to the server's log line for the same request.
 type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// writeError emits the structured error envelope
-// {"error": {"code": ..., "message": ...}}.
-func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: fmt.Sprintf(format, args...)}})
+// error emits the structured error envelope
+// {"error": {"code": ..., "message": ..., "request_id": ...}} and logs a
+// matching line carrying the same request id and code.
+func (s *Server) error(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	reqID := w.Header().Get("X-Request-Id")
+	level := slog.LevelWarn
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	s.logger.LogAttrs(r.Context(), level, "request error",
+		slog.String("request_id", reqID),
+		slog.String("code", code),
+		slog.Int("status", status),
+		slog.String("message", msg),
+	)
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: msg, RequestID: reqID}})
 }
 
 // validSessionName restricts names to a URL-inert charset: anything
@@ -294,23 +413,23 @@ type createRequest struct {
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadJSON, "invalid JSON body: %v", err)
+		s.error(w, r, http.StatusBadRequest, codeBadJSON, "invalid JSON body: %v", err)
 		return
 	}
 	if !validSessionName(req.Name) {
-		writeError(w, http.StatusBadRequest, codeBadParam, "session name must match [A-Za-z0-9_-]{1,64}")
+		s.error(w, r, http.StatusBadRequest, codeBadParam, "session name must match [A-Za-z0-9_-]{1,64}")
 		return
 	}
 	if req.Query == "" && req.Program == "" {
-		writeError(w, http.StatusBadRequest, codeBadParam, `body must carry "query" (non-recursive extraction) or "program" (multi-rule Datalog)`)
+		s.error(w, r, http.StatusBadRequest, codeBadParam, `body must carry "query" (non-recursive extraction) or "program" (multi-rule Datalog)`)
 		return
 	}
 	if req.Query != "" && req.Program != "" {
-		writeError(w, http.StatusBadRequest, codeBadParam, `"query" and "program" are mutually exclusive`)
+		s.error(w, r, http.StatusBadRequest, codeBadParam, `"query" and "program" are mutually exclusive`)
 		return
 	}
 	if req.Program != "" && req.Live {
-		writeError(w, http.StatusBadRequest, codeBadParam, "program sessions are static-only: live incremental maintenance of derived predicates is not supported; re-create with live=false and rebuild after mutations")
+		s.error(w, r, http.StatusBadRequest, codeBadParam, "program sessions are static-only: live incremental maintenance of derived predicates is not supported; re-create with live=false and rebuild after mutations")
 		return
 	}
 	// Pre-check name and capacity before paying for the extraction (the
@@ -322,16 +441,24 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	full := len(s.sessions) >= s.maxSessions
 	s.sessMu.RUnlock()
 	if exists {
-		writeError(w, http.StatusConflict, codeSessionExists, "session %q already exists", req.Name)
+		s.error(w, r, http.StatusConflict, codeSessionExists, "session %q already exists", req.Name)
 		return
 	}
 	if full {
-		writeError(w, http.StatusTooManyRequests, codeSessionLimit, "session limit (%d) reached; DELETE one first", s.maxSessions)
+		s.error(w, r, http.StatusTooManyRequests, codeSessionLimit, "session limit (%d) reached; DELETE one first", s.maxSessions)
 		return
 	}
 	var opts []graphgen.Option
 	if req.MaxEdges > 0 {
 		opts = append(opts, graphgen.WithMaxEdges(req.MaxEdges))
+	}
+	// ?explain=true asks for the execution plan (structure only),
+	// ?analyze=true for the full profile (rows, batches, wall time).
+	// Either arms tracing for the one extraction this request runs.
+	explain := boolParam(r, "explain")
+	analyze := boolParam(r, "analyze")
+	if explain || analyze {
+		opts = append(opts, graphgen.WithProfile())
 	}
 	sess := &session{id: s.nextID.Add(1), name: req.Name, query: req.Query, created: time.Now()}
 	s.dbMu.Lock()
@@ -355,7 +482,7 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, graphgen.ErrTooManyDerived) {
 			code = codeBudgetExceeded
 		}
-		writeError(w, http.StatusBadRequest, code, "extraction failed: %v", err)
+		s.error(w, r, http.StatusBadRequest, code, "extraction failed: %v", err)
 		return
 	}
 	if sess.program {
@@ -363,22 +490,44 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 			s.metrics.observeEval(es)
 		}
 	}
+	if explain || analyze {
+		if sess.live != nil {
+			sess.profile = sess.live.BuildProfile()
+		} else {
+			sess.profile = sess.static.Profile()
+		}
+	}
 	s.sessMu.Lock()
 	if _, exists := s.sessions[req.Name]; exists {
 		s.sessMu.Unlock()
 		s.closeLive(sess.live)
-		writeError(w, http.StatusConflict, codeSessionExists, "session %q already exists", req.Name)
+		s.error(w, r, http.StatusConflict, codeSessionExists, "session %q already exists", req.Name)
 		return
 	}
 	if len(s.sessions) >= s.maxSessions {
 		s.sessMu.Unlock()
 		s.closeLive(sess.live)
-		writeError(w, http.StatusTooManyRequests, codeSessionLimit, "session limit (%d) reached; DELETE one first", s.maxSessions)
+		s.error(w, r, http.StatusTooManyRequests, codeSessionLimit, "session limit (%d) reached; DELETE one first", s.maxSessions)
 		return
 	}
 	s.sessions[req.Name] = sess
 	s.sessMu.Unlock()
-	writeJSON(w, http.StatusCreated, s.statsPayload(sess))
+	payload := s.statsPayload(sess)
+	if explain && sess.profile != nil {
+		payload["plan"] = sess.profile.Plan()
+	}
+	if analyze && sess.profile != nil {
+		payload["profile"] = sess.profile
+	}
+	writeJSON(w, http.StatusCreated, payload)
+}
+
+// boolParam reads a boolean query parameter; anything strconv.ParseBool
+// accepts ("true", "1", "t", ...) counts as true, everything else
+// (including absence) as false.
+func boolParam(r *http.Request, name string) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get(name))
+	return err == nil && v
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
@@ -408,7 +557,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessMu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", name)
+		s.error(w, r, http.StatusNotFound, codeSessionNotFound, "no session %q", name)
 		return
 	}
 	s.closeLive(sess.live)
@@ -464,7 +613,7 @@ func (s *Server) statsPayload(sess *session) map[string]any {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", r.PathValue("name"))
+		s.error(w, r, http.StatusNotFound, codeSessionNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.statsPayload(sess))
@@ -473,17 +622,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", r.PathValue("name"))
+		s.error(w, r, http.StatusNotFound, codeSessionNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
 	vs := r.URL.Query().Get("v")
 	if vs == "" {
-		writeError(w, http.StatusBadRequest, codeBadParam, "missing required query parameter v (vertex ID)")
+		s.error(w, r, http.StatusBadRequest, codeBadParam, "missing required query parameter v (vertex ID)")
 		return
 	}
 	v, err := strconv.ParseInt(vs, 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadParam, "v must be an integer vertex ID: %v", err)
+		s.error(w, r, http.StatusBadRequest, codeBadParam, "v must be an integer vertex ID: %v", err)
 		return
 	}
 	var it graphgen.Iterator
@@ -519,18 +668,37 @@ type analyzeEnvelope struct {
 	Cached    bool            `json:"cached"`
 	ComputeMS float64         `json:"compute_ms"`
 	Result    json.RawMessage `json:"result"`
+	// Plan (?explain=true) and Profile (?analyze=true) re-attach the
+	// execution trace recorded when the session was created with the
+	// same parameters; both are omitted when no trace was recorded.
+	Plan    map[string]any    `json:"plan,omitempty"`
+	Profile *graphgen.Profile `json:"profile,omitempty"`
+}
+
+// attachProfile fills the envelope's Plan/Profile fields from the
+// session's recorded build trace when the request asks for them.
+func attachProfile(env *analyzeEnvelope, r *http.Request, sess *session) {
+	if sess.profile == nil {
+		return
+	}
+	if boolParam(r, "explain") {
+		env.Plan = sess.profile.Plan()
+	}
+	if boolParam(r, "analyze") {
+		env.Profile = sess.profile
+	}
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	name, algo := r.PathValue("name"), r.PathValue("algo")
 	sess, ok := s.lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, codeSessionNotFound, "no session %q", name)
+		s.error(w, r, http.StatusNotFound, codeSessionNotFound, "no session %q", name)
 		return
 	}
 	params, err := parseParams(algo, r.URL.Query())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadParam, "%v", err)
+		s.error(w, r, http.StatusBadRequest, codeBadParam, "%v", err)
 		return
 	}
 	// Snapshot-version cache key: reading Version first flushes pending
@@ -542,10 +710,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cacheKey{sessionID: sess.id, version: version, analysis: algo, params: params.canonical}
 	if body, ok := s.cache.get(key); ok {
-		writeJSON(w, http.StatusOK, analyzeEnvelope{
+		env := analyzeEnvelope{
 			Session: name, Analysis: algo, Params: params.canonical,
 			Version: key.version, Cached: true, Result: body,
-		})
+		}
+		attachProfile(&env, r, sess)
+		writeJSON(w, http.StatusOK, env)
 		return
 	}
 	// Miss: compute on an isolated graph. Live sessions are snapshotted
@@ -560,20 +730,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	result, err := computeAnalysis(g, algo, params)
 	elapsed := time.Since(start)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadParam, "%v", err)
+		s.error(w, r, http.StatusBadRequest, codeBadParam, "%v", err)
 		return
 	}
 	body, err := json.Marshal(result)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "marshaling result: %v", err)
+		s.error(w, r, http.StatusInternalServerError, codeInternal, "marshaling result: %v", err)
 		return
 	}
 	s.cache.put(key, body)
-	writeJSON(w, http.StatusOK, analyzeEnvelope{
+	env := analyzeEnvelope{
 		Session: name, Analysis: algo, Params: params.canonical,
 		Version: key.version, Cached: false,
 		ComputeMS: float64(elapsed.Nanoseconds()) / 1e6, Result: body,
-	})
+	}
+	attachProfile(&env, r, sess)
+	writeJSON(w, http.StatusOK, env)
 }
 
 // analysisParams carries the typed parameters of one analysis plus their
@@ -832,14 +1004,14 @@ func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
 	tableName := r.PathValue("table")
 	table, err := s.engine.DB().Table(tableName)
 	if err != nil {
-		writeError(w, http.StatusNotFound, codeTableNotFound, "%v", err)
+		s.error(w, r, http.StatusNotFound, codeTableNotFound, "%v", err)
 		return
 	}
 	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
 	dec.UseNumber()
 	var req mutateRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadJSON, "invalid JSON body: %v", err)
+		s.error(w, r, http.StatusBadRequest, codeBadJSON, "invalid JSON body: %v", err)
 		return
 	}
 	rows := req.Rows
@@ -847,14 +1019,14 @@ func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, req.Row)
 	}
 	if len(rows) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadParam, `body must carry "row" (one tuple) or "rows" (a batch)`)
+		s.error(w, r, http.StatusBadRequest, codeBadParam, `body must carry "row" (one tuple) or "rows" (a batch)`)
 		return
 	}
 	typed := make([][]graphgen.Value, len(rows))
 	for i, raw := range rows {
 		typed[i], err = convertRow(table, raw)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadParam, "row %d: %v", i, err)
+			s.error(w, r, http.StatusBadRequest, codeBadParam, "row %d: %v", i, err)
 			return
 		}
 	}
@@ -884,7 +1056,7 @@ func (s *Server) mutate(op string, w http.ResponseWriter, r *http.Request) {
 	}
 	s.dbMu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeMutationFailed, "%s: applied %d of %d rows, then: %v", op, applied, len(typed), err)
+		s.error(w, r, http.StatusBadRequest, codeMutationFailed, "%s: applied %d of %d rows, then: %v", op, applied, len(typed), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"table": table.Name, "op": op, "applied": applied, "requested": len(typed)})
@@ -935,7 +1107,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	uptime, routes := s.metrics.snapshot()
 	s.sessMu.RLock()
 	n := len(s.sessions)
@@ -953,6 +1125,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		s.dbMu.Unlock()
 		s.dbIndexes.Store(int64(indexes))
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cs := s.cache.stats()
+		fmt.Fprintf(w, "# TYPE graphgend_uptime_seconds gauge\ngraphgend_uptime_seconds %g\n", uptime.Seconds())
+		fmt.Fprintf(w, "# TYPE graphgend_sessions gauge\ngraphgend_sessions %d\n", n)
+		fmt.Fprintf(w, "# TYPE graphgend_db_indexes gauge\ngraphgend_db_indexes %d\n", s.dbIndexes.Load())
+		fmt.Fprintf(w, "# TYPE graphgend_cache_hits_total counter\ngraphgend_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "# TYPE graphgend_cache_misses_total counter\ngraphgend_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "# TYPE graphgend_cache_evictions_total counter\ngraphgend_cache_evictions_total %d\n", cs.Evictions)
+		s.metrics.writeProm(w)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s":     uptime.Seconds(),

@@ -44,11 +44,19 @@ func TestV1RoutesAliasLegacy(t *testing.T) {
 		legacy["status"] != v1["status"] || legacy["sessions"] != v1["sessions"] {
 		t.Fatalf("healthz mismatch: legacy %v, /v1 %v", legacy, v1)
 	}
-	// Errors carry the same envelope on both spellings.
+	// Errors carry the same envelope on both spellings, modulo the
+	// per-request id (each request gets its own).
 	legacyCode, legacy = doJSON(t, "GET", ts.URL+"/graphs/nope/stats", nil)
 	v1Code, v1 = doJSON(t, "GET", ts.URL+"/v1/graphs/nope/stats", nil)
 	if legacyCode != http.StatusNotFound || v1Code != http.StatusNotFound {
 		t.Fatalf("missing session: legacy %d, /v1 %d", legacyCode, v1Code)
+	}
+	for _, body := range []map[string]any{legacy, v1} {
+		inner := body["error"].(map[string]any)
+		if id, _ := inner["request_id"].(string); id == "" {
+			t.Fatalf("error envelope missing request_id: %v", body)
+		}
+		delete(inner, "request_id")
 	}
 	if !reflect.DeepEqual(legacy, v1) {
 		t.Fatalf("error envelope mismatch: legacy %v, /v1 %v", legacy, v1)

@@ -26,6 +26,9 @@ var ErrLiveMutation = errors.New("graphgen: LiveGraph is maintained from its sou
 // from one goroutine at a time but may overlap with reads.
 type LiveGraph struct {
 	live *incremental.Live
+	// profile is the initial build's execution trace under WithProfile
+	// (BuildProfile exposes it); maintenance is never traced.
+	profile *Profile
 }
 
 // LiveGraph implements the read half of the paper's Graph API; the mutating
@@ -54,7 +57,7 @@ func (e *Engine) ExtractLive(dsl string, opts ...Option) (*LiveGraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LiveGraph{live: live}, nil
+	return &LiveGraph{live: live, profile: o.Trace.Finish()}, nil
 }
 
 // Vertices returns an iterator over all vertices.

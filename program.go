@@ -63,6 +63,7 @@ func (e *Engine) ExtractProgram(src string, opts ...Option) (*Graph, error) {
 		MaxDerivedTuples: o.MaxDerivedTuples,
 		NoIndex:          o.NoIndex,
 		NoStream:         o.NoStream,
+		Trace:            o.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -78,7 +79,7 @@ func (e *Engine) ExtractProgram(src string, opts ...Option) (*Graph, error) {
 	if res.Stats.PeakIntermediateRows > evalStats.PeakIntermediateRows {
 		evalStats.PeakIntermediateRows = res.Stats.PeakIntermediateRows
 	}
-	return &Graph{c: res.Graph, stats: res.Stats, evalStats: &evalStats}, nil
+	return &Graph{c: res.Graph, stats: res.Stats, evalStats: &evalStats, profile: o.Trace.Finish()}, nil
 }
 
 // ProgramStats returns the Datalog evaluation statistics when the graph
