@@ -8,10 +8,12 @@
 //	lockedreturn  returns must not leak a held mutex
 //	iterclose     row iterators in relstore/extract/datalogeval are closed or handed off
 //	spanend       trace spans in relstore/extract/datalogeval are ended or handed off
+//	guardedby     fields annotated graphlint:guardedby are accessed under their mutex
+//	nilsafe       internal/obs: exported *Trace/*Span methods begin with a nil guard
 //
 // Usage:
 //
-//	graphlint [-list] [package patterns]
+//	graphlint [-list] [-counts] [package patterns]
 //
 // Patterns default to ./... rooted at the current directory. Findings are
 // suppressed only by an inline "//lint:ignore <analyzer> <justification>"
@@ -37,8 +39,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("graphlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	counts := fs.Bool("counts", false, "print per-analyzer finding counts after the findings")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: graphlint [-list] [package patterns]\n")
+		fmt.Fprintf(stderr, "usage: graphlint [-list] [-counts] [package patterns]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +74,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
+	}
+	if *counts {
+		byName := map[string]int{}
+		for _, d := range diags {
+			byName[d.Analyzer]++
+		}
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %d\n", a.Name, byName[a.Name])
+		}
+		fmt.Fprintf(stdout, "%-14s %d\n", analyzers.LintName, byName[analyzers.LintName])
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "graphlint: %d finding(s)\n", len(diags))

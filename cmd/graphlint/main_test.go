@@ -124,11 +124,57 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"keyencode", "lockorder", "notifyorder", "determinism", "lockedreturn", "lint"} {
+	for _, name := range []string{"keyencode", "lockorder", "notifyorder", "determinism", "lockedreturn", "guardedby", "nilsafe", "lint"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
 	}
+}
+
+// TestCountsFlag: -counts appends a per-analyzer tally — findings under
+// their analyzers, zeros for the quiet ones — without changing the exit
+// semantics.
+func TestCountsFlag(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": smokeGoMod,
+		"bad.go": `package smoke
+
+import "sync"
+
+var mu sync.Mutex
+
+func leak(fail bool) int {
+	mu.Lock()
+	if fail {
+		return 0
+	}
+	mu.Unlock()
+	return 1
+}
+`,
+	})
+	inDir(t, dir, func() {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-counts", "./..."}, &out, &errb); code != 1 {
+			t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+		}
+		var sawLocked, sawQuiet bool
+		for _, line := range strings.Split(out.String(), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				continue
+			}
+			switch fields[0] {
+			case "lockedreturn":
+				sawLocked = fields[1] == "1"
+			case "keyencode":
+				sawQuiet = fields[1] == "0"
+			}
+		}
+		if !sawLocked || !sawQuiet {
+			t.Errorf("-counts output missing tallies (lockedreturn=1: %v, keyencode=0: %v):\n%s", sawLocked, sawQuiet, out.String())
+		}
+	})
 }
 
 // TestUsageError: flag errors are usage errors, exit 2.

@@ -17,14 +17,20 @@
 //     must be closed or handed off (consumer call, return, store)
 //   - spanend:     a trace span started in relstore/extract/datalogeval
 //     must be ended or handed off (End call, owner handoff, return, store)
+//   - guardedby:   struct fields annotated "graphlint:guardedby mu" are
+//     accessed only while the named sibling mutex is held, checked
+//     interprocedurally over per-function lock summaries (summary.go)
+//   - nilsafe:     internal/obs: exported *Trace/*Span methods begin with
+//     a nil-receiver guard (the tracing-off fast path)
 //
 // Each analyzer inspects one type-checked package at a time (a Pass) and
 // reports diagnostics. RunAnalyzers applies the suppression policy: a
 // finding is silenced only by an inline "//lint:ignore <analyzer> <why>"
-// comment on the same or the preceding line, and the comment itself is
-// checked — a missing justification, an unknown analyzer name, or a
-// directive that no longer suppresses anything is a diagnostic in its own
-// right (reported under the pseudo-analyzer "lint").
+// comment on the same or the preceding line — for a multi-line statement,
+// a trailing directive on its last line covers the whole statement — and
+// the comment itself is checked: a missing justification, an unknown
+// analyzer name, or a directive that no longer suppresses anything is a
+// diagnostic in its own right (reported under the pseudo-analyzer "lint").
 package analyzers
 
 import (
@@ -88,36 +94,40 @@ const ignoreMarker = "lint:ignore"
 
 // ignoreDirective is one parsed lint:ignore comment.
 type ignoreDirective struct {
-	pos    token.Pos
-	line   int
-	names  []string // analyzer names the directive silences
-	reason string
-	used   bool
+	pos      token.Pos
+	line     int
+	fromLine int      // start line of the statement the directive trails, else line
+	names    []string // analyzer names the directive silences
+	reason   string
+	used     bool
 }
 
 // parseDirectives extracts the lint:ignore directives of one file and
 // reports malformed ones (missing analyzer list or justification, unknown
-// analyzer names) as diagnostics.
+// analyzer names) as diagnostics. The analyzer list and the justification
+// may be separated by any whitespace, not only a single space.
 func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Diagnostic)) []*ignoreDirective {
+	spans := stmtSpans(fset, file)
 	var out []*ignoreDirective
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, ignoreMarker) {
+			rest, ok := strings.CutPrefix(text, ignoreMarker)
+			if !ok || (rest != "" && !startsWithSpace(rest)) {
+				// "lint:ignoreXYZ" is not a directive at all.
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreMarker))
-			nameList, reason, _ := strings.Cut(rest, " ")
-			reason = strings.TrimSpace(reason)
+			rest = strings.TrimSpace(rest)
+			nameList, reason := cutAnySpace(rest)
 			if nameList == "" || reason == "" {
 				report(Diagnostic{Pos: pos, Analyzer: LintName,
 					Message: "lint:ignore needs an analyzer list and a justification: //lint:ignore <analyzer>[,<analyzer>] <why>"})
 				continue
 			}
 			names := strings.Split(nameList, ",")
-			ok := true
+			ok = true
 			for _, n := range names {
 				if !known[n] {
 					report(Diagnostic{Pos: pos, Analyzer: LintName,
@@ -128,10 +138,51 @@ func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool,
 			if !ok {
 				continue
 			}
-			out = append(out, &ignoreDirective{pos: c.Pos(), line: pos.Line, names: names, reason: reason})
+			from := pos.Line
+			if s, hit := spans[pos.Line]; hit && s < from {
+				from = s
+			}
+			out = append(out, &ignoreDirective{pos: c.Pos(), line: pos.Line, fromLine: from, names: names, reason: reason})
 		}
 	}
 	return out
+}
+
+func startsWithSpace(s string) bool {
+	return s[0] == ' ' || s[0] == '\t'
+}
+
+// cutAnySpace splits at the first whitespace run, so a tab between the
+// analyzer list and the justification parses the same as a space.
+func cutAnySpace(s string) (head, tail string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// stmtSpans maps each line on which a (non-block) statement ends to the
+// start line of the innermost such statement: a directive trailing the
+// last line of a multi-line statement suppresses diagnostics anchored
+// anywhere on it, matching where gofmt leaves room for the comment.
+func stmtSpans(fset *token.FileSet, file *ast.File) map[int]int {
+	spans := map[int]int{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		if _, isBlock := s.(*ast.BlockStmt); isBlock {
+			return true // a block's closing brace would cover far too much
+		}
+		start, end := fset.Position(s.Pos()).Line, fset.Position(s.End()).Line
+		if cur, hit := spans[end]; !hit || start > cur {
+			spans[end] = start // innermost statement ending here wins
+		}
+		return true
+	})
+	return spans
 }
 
 // RunAnalyzers applies every analyzer to every package, applies the
@@ -154,7 +205,9 @@ func RunAnalyzers(pkgs []*Package, as []*Analyzer) ([]Diagnostic, error) {
 		}
 		suppress := func(d Diagnostic) bool {
 			for _, dir := range directives {
-				if dir.line != d.Pos.Line && dir.line != d.Pos.Line-1 {
+				sameOrNext := dir.line == d.Pos.Line || dir.line == d.Pos.Line-1
+				inSpan := dir.fromLine <= d.Pos.Line && d.Pos.Line <= dir.line
+				if !sameOrNext && !inSpan {
 					continue
 				}
 				for _, n := range dir.names {
@@ -204,10 +257,12 @@ func RunAnalyzers(pkgs []*Package, as []*Analyzer) ([]Diagnostic, error) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
+		GuardedByAnalyzer,
 		IterCloseAnalyzer,
 		KeyencodeAnalyzer,
 		LockedReturnAnalyzer,
 		LockOrderAnalyzer,
+		NilSafeAnalyzer,
 		NotifyOrderAnalyzer,
 		SpanEndAnalyzer,
 	}

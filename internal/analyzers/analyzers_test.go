@@ -18,6 +18,63 @@ func TestKeyencode(t *testing.T) {
 	lintest.Run(t, analyzers.KeyencodeAnalyzer, "graphgen/internal/fixture", "testdata/src/keyencode/clean")
 }
 
+func TestGuardedBy(t *testing.T) {
+	lintest.Run(t, analyzers.GuardedByAnalyzer, "graphgen/internal/fixture", "testdata/src/guardedby/flagged")
+	lintest.Run(t, analyzers.GuardedByAnalyzer, "graphgen/internal/fixture", "testdata/src/guardedby/clean")
+}
+
+// TestGuardedByBadAnnotations: malformed annotations are findings in
+// their own right. Asserted directly — a want comment sharing the
+// directive's line would pollute its argument.
+func TestGuardedByBadAnnotations(t *testing.T) {
+	diags := lintest.Diagnostics(t, analyzers.GuardedByAnalyzer, "graphgen/internal/fixture", "testdata/src/guardedby/badannot")
+	wantSubstrings := []string{
+		`graphlint:guardedby gone: "missing" is not a sibling sync.Mutex/RWMutex field`,
+		`graphlint:guardedby needs a sibling mutex field name`,
+		`graphlint:guardedby external: needs a lock name`,
+		`graphlint:guardedby cannot annotate an embedded field`,
+		`graphlint:requires f: the receiver has no sync.Mutex/RWMutex field "nope"`,
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstrings), diags)
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.String(), sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q; got %v", sub, diags)
+		}
+	}
+}
+
+// TestGuardedByUnannotated: a package with mutexes but no annotations
+// opts out entirely — the lockedreturn fixtures are exactly that shape.
+func TestGuardedByUnannotated(t *testing.T) {
+	for _, dir := range []string{"testdata/src/lockedreturn/flagged", "testdata/src/lockedreturn/clean"} {
+		if diags := lintest.Diagnostics(t, analyzers.GuardedByAnalyzer, "graphgen/internal/fixture", dir); len(diags) != 0 {
+			t.Fatalf("guardedby fired on the unannotated package %s: %v", dir, diags)
+		}
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	lintest.Run(t, analyzers.NilSafeAnalyzer, "graphgen/internal/obs", "testdata/src/nilsafe/flagged")
+	lintest.Run(t, analyzers.NilSafeAnalyzer, "graphgen/internal/obs", "testdata/src/nilsafe/clean")
+}
+
+// TestNilSafeScoped: outside internal/obs the analyzer stays silent,
+// even on unguarded Trace/Span lookalikes.
+func TestNilSafeScoped(t *testing.T) {
+	if diags := lintest.Diagnostics(t, analyzers.NilSafeAnalyzer, "graphgen/internal/fixture", "testdata/src/nilsafe/flagged"); len(diags) != 0 {
+		t.Fatalf("nilsafe fired outside internal/obs: %v", diags)
+	}
+}
+
 func TestLockOrder(t *testing.T) {
 	lintest.Run(t, analyzers.LockOrderAnalyzer, "graphgen/internal/server", "testdata/src/lockorder/flagged")
 	lintest.Run(t, analyzers.LockOrderAnalyzer, "graphgen/internal/server", "testdata/src/lockorder/clean")
@@ -114,10 +171,10 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
-// TestAllStable pins the suite composition: seven analyzers, stable
+// TestAllStable pins the suite composition: nine analyzers, stable
 // order, unique names — the names are part of the lint:ignore contract.
 func TestAllStable(t *testing.T) {
-	want := []string{"determinism", "iterclose", "keyencode", "lockedreturn", "lockorder", "notifyorder", "spanend"}
+	want := []string{"determinism", "guardedby", "iterclose", "keyencode", "lockedreturn", "lockorder", "nilsafe", "notifyorder", "spanend"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,75 @@
+package analyzers
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveParse drives parseDirectives with arbitrary comment text.
+// The invariants: parsing never panics, an accepted directive always has
+// at least one known analyzer name and a non-empty justification, a
+// comment is never both accepted and reported malformed, and rendering
+// an accepted directive canonically re-parses to the same directive —
+// the stability the stale-detection ratchet depends on.
+func FuzzDirectiveParse(f *testing.F) {
+	for _, seed := range []string{
+		"lint:ignore lockedreturn lock handed to the caller",
+		"lint:ignore lockedreturn\tjustification after a tab",
+		"lint:ignore lockedreturn,lockorder two analyzers, one reason",
+		"lint:ignore",
+		"lint:ignore lockedreturn",
+		"lint:ignore lockedretrun misspelled",
+		"lint:ignoreXYZ not a directive at all",
+		"lint:ignore  lockedreturn   extra   spacing",
+		"not a directive",
+		"lint:ignore lint the pseudo-analyzer is suppressible too",
+	} {
+		f.Add(seed)
+	}
+	known := map[string]bool{"lockedreturn": true, "lockorder": true, "guardedby": true, "lint": true}
+	parseOne := func(t *testing.T, comment string) ([]*ignoreDirective, []Diagnostic) {
+		t.Helper()
+		src := "package p\n\nfunc f() {\n\t_ = 1 //" + comment + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			return nil, nil
+		}
+		var reports []Diagnostic
+		dirs := parseDirectives(fset, file, known, func(d Diagnostic) { reports = append(reports, d) })
+		return dirs, reports
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		if strings.ContainsAny(comment, "\n\r") {
+			return // cannot survive inside a line comment
+		}
+		dirs, reports := parseOne(t, comment)
+		if len(dirs) > 0 && len(reports) > 0 {
+			t.Fatalf("comment %q both accepted (%d directives) and reported malformed (%v)", comment, len(dirs), reports)
+		}
+		for _, d := range dirs {
+			if len(d.names) == 0 {
+				t.Fatalf("accepted directive %q has no analyzer names", comment)
+			}
+			for _, n := range d.names {
+				if !known[n] {
+					t.Fatalf("accepted directive %q names unknown analyzer %q", comment, n)
+				}
+			}
+			if d.reason == "" {
+				t.Fatalf("accepted directive %q has no justification", comment)
+			}
+			canonical := "lint:ignore " + strings.Join(d.names, ",") + " " + d.reason
+			redirs, rereports := parseOne(t, canonical)
+			if len(redirs) != 1 || len(rereports) != 0 {
+				t.Fatalf("canonical re-rendering %q did not re-parse cleanly: %d directives, %v", canonical, len(redirs), rereports)
+			}
+			if strings.Join(redirs[0].names, ",") != strings.Join(d.names, ",") || redirs[0].reason != d.reason {
+				t.Fatalf("canonical re-rendering %q drifted: got %v %q, want %v %q",
+					canonical, redirs[0].names, redirs[0].reason, d.names, d.reason)
+			}
+		}
+	})
+}

@@ -117,6 +117,13 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
+	// A pattern that matches nothing analyzable must be a hard error, not
+	// a silent exit-0: a mistyped pattern in CI would otherwise report the
+	// tree clean without checking a single file.
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzable Go packages match %s (%d matched, none with non-test Go files)",
+			strings.Join(patterns, " "), len(targets))
+	}
 	return out, nil
 }
 

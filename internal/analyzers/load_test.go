@@ -1,0 +1,95 @@
+package analyzers
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's failure modes must be hard errors: a pattern that loads
+// nothing, a target that does not compile, or a dependency with no
+// export data silently passing would turn graphlint into a lint that
+// lints nothing.
+
+func writeTestModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const loadTestGoMod = "module loadtest\n\ngo 1.22\n"
+
+func TestLoadPackagesEmptyModule(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{"go.mod": loadTestGoMod})
+	_, err := LoadPackages(dir, "./...")
+	if err == nil {
+		t.Fatal("LoadPackages on a module with no Go files returned nil error")
+	}
+	if !strings.Contains(err.Error(), "no analyzable Go packages") {
+		t.Fatalf("error does not explain that nothing matched: %v", err)
+	}
+}
+
+// TestLoadPackagesTestOnlyPackage: a package whose only sources are test
+// files has nothing for the non-test analysis set either.
+func TestLoadPackagesTestOnlyPackage(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod":      loadTestGoMod,
+		"p/p_test.go": "package p\n\nimport \"testing\"\n\nfunc TestNothing(t *testing.T) {}\n",
+	})
+	_, err := LoadPackages(dir, "./...")
+	if err == nil {
+		t.Fatal("LoadPackages on a test-only module returned nil error")
+	}
+	if !strings.Contains(err.Error(), "no analyzable Go packages") {
+		t.Fatalf("error does not explain that nothing matched: %v", err)
+	}
+}
+
+func TestLoadPackagesSyntaxError(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod": loadTestGoMod,
+		"p/p.go": "package p\n\nfunc broken( {\n",
+	})
+	if _, err := LoadPackages(dir, "./..."); err == nil {
+		t.Fatal("LoadPackages on a syntactically invalid target returned nil error")
+	}
+}
+
+func TestLoadPackagesMissingDep(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod": loadTestGoMod,
+		"p/p.go": "package p\n\nimport \"loadtest/nonexistent\"\n\nvar _ = nonexistent.Thing\n",
+	})
+	if _, err := LoadPackages(dir, "./..."); err == nil {
+		t.Fatal("LoadPackages with an unresolvable import returned nil error")
+	}
+}
+
+// TestTypeCheckNoExportData: an import that resolves to no export data
+// is an importer error, not a silently incomplete type-check.
+func TestTypeCheckNoExportData(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, map[string]string{})
+	dir := writeTestModule(t, map[string]string{
+		"p.go": "package p\n\nimport \"fmt\"\n\nvar _ = fmt.Sprint\n",
+	})
+	_, err := typeCheck(fset, imp, "loadtest/p", []string{filepath.Join(dir, "p.go")})
+	if err == nil {
+		t.Fatal("type-checking with empty export data returned nil error")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Fatalf("error does not mention missing export data: %v", err)
+	}
+}

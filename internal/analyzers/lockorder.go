@@ -13,8 +13,8 @@ const serverPath = "graphgen/internal/server"
 // (established in PR 3 and documented on Server):
 //
 //  1. Lock order is dbMu before sessMu. Acquiring dbMu — directly or by
-//     calling a method that does — while sessMu is held inverts the order
-//     and can deadlock against Close.
+//     calling a method that does, at any call depth — while sessMu is
+//     held inverts the order and can deadlock against Close.
 //  2. Everything that touches relational tables runs inside a dbMu
 //     critical section: relstore.Table mutators and stats
 //     (Insert/Delete/DeleteWhere/CreateIndex/NDistinct/IndexedColumns),
@@ -22,11 +22,14 @@ const serverPath = "graphgen/internal/server"
 //     change-log subscriptions that mutations walk concurrently — the
 //     exact race PR 3 fixed).
 //
-// The analysis is intra-procedural and position-based: within one
-// function body, a mutex is held from its Lock to the next non-deferred
-// Unlock (a deferred Unlock holds to function end). That approximates
-// control flow, but matches how the server code is written — straight-line
-// critical sections — and catches every historical bug shape.
+// Within one function body the analysis is position-based: a mutex is
+// held from its Lock to the next non-deferred Unlock (a deferred Unlock
+// holds to function end). Across functions it consumes the shared
+// interprocedural layer (summary.go): the per-function lock summaries,
+// computed to fixpoint over the package call graph, make "acquires
+// dbMu" transitive, and a "// graphlint:requires dbMu" annotation lets
+// a helper assume dbMu on entry — its body is checked as if locked, and
+// every call to it outside a dbMu critical section is the finding.
 var LockOrderAnalyzer = &Analyzer{
 	Name: "lockorder",
 	Doc:  "internal/server: dbMu before sessMu; table/extraction/live-close calls only under dbMu",
@@ -46,7 +49,8 @@ const (
 	evSessUnlock
 	evDbLock
 	evDbUnlock
-	evDbLockerCall // call to a method known to acquire dbMu
+	evDbLockerCall // call to a function that (transitively) acquires dbMu
+	evRequiresDb   // call to a function annotated graphlint:requires dbMu
 	evTableOp      // relational access that requires dbMu
 )
 
@@ -54,42 +58,28 @@ func runLockOrder(pass *Pass) error {
 	if pass.Pkg.Path() != serverPath {
 		return nil
 	}
-	// Pre-pass: methods of this package whose bodies acquire dbMu
-	// directly; calling one of them while sessMu is held is an order
-	// inversion one level removed (the closeLive shape).
-	dbLockers := map[types.Object]bool{}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			locks := false
-			inspectUnit(fd.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if kind, _ := classifyMutexCall(pass.Info, call); kind == evDbLock {
-						locks = true
-					}
-				}
-				return true
-			})
-			if locks {
-				if obj := pass.Info.Defs[fd.Name]; obj != nil {
-					dbLockers[obj] = true
-				}
-			}
-		}
-	}
+	// The shared interprocedural layer: transitive acquire sets make
+	// "calls a method that takes dbMu" work at any depth, not just one
+	// (the index reports no annotation diagnostics here — guardedby
+	// owns those).
+	idx := buildIndex(pass, nil)
+	idx.computeSummaries()
 
+	for _, fi := range idx.order {
+		lockOrderUnit(pass, idx, fi.decl.Body, fi.annotated["dbMu"] != modeNone)
+	}
 	for _, file := range pass.Files {
-		funcUnits(file, func(_ string, body *ast.BlockStmt) {
-			lockOrderUnit(pass, body, dbLockers)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lockOrderUnit(pass, idx, lit.Body, false)
+			}
+			return true
 		})
 	}
 	return nil
 }
 
-func lockOrderUnit(pass *Pass, body *ast.BlockStmt, dbLockers map[types.Object]bool) {
+func lockOrderUnit(pass *Pass, idx *pkgIndex, body *ast.BlockStmt, entryDbHeld bool) {
 	var events []lockEvent
 	add := func(pos token.Pos, kind int, call *ast.CallExpr, name string) {
 		events = append(events, lockEvent{pos: pos, kind: kind, call: call, name: name})
@@ -116,9 +106,14 @@ func lockOrderUnit(pass *Pass, body *ast.BlockStmt, dbLockers map[types.Object]b
 		if f == nil {
 			return true
 		}
-		if dbLockers[f] {
-			add(call.Pos(), evDbLockerCall, call, f.Name())
-			return true
+		if fi := idx.funcs[f]; fi != nil {
+			if fi.annotated["dbMu"] != modeNone {
+				add(call.Pos(), evRequiresDb, call, f.Name())
+			}
+			if fi.sum != nil && fi.sum.acquires["dbMu"] != modeNone {
+				add(call.Pos(), evDbLockerCall, call, f.Name())
+				return true
+			}
 		}
 		if name, ok := tableOpName(f); ok {
 			add(call.Pos(), evTableOp, call, name)
@@ -128,7 +123,7 @@ func lockOrderUnit(pass *Pass, body *ast.BlockStmt, dbLockers map[types.Object]b
 
 	// Position-ordered simulation. AST inspection already visits in
 	// source order within one unit.
-	sessHeld, dbHeld := false, false
+	sessHeld, dbHeld := false, entryDbHeld
 	for _, ev := range events {
 		switch ev.kind {
 		case evSessLock:
@@ -145,6 +140,10 @@ func lockOrderUnit(pass *Pass, body *ast.BlockStmt, dbLockers map[types.Object]b
 		case evDbLockerCall:
 			if sessHeld {
 				pass.Reportf(ev.pos, "%s acquires dbMu and must not be called while sessMu is held; the lock order is dbMu before sessMu", ev.name)
+			}
+		case evRequiresDb:
+			if !dbHeld {
+				pass.Reportf(ev.pos, "%s requires dbMu held on entry (graphlint:requires) and is called outside a dbMu critical section", ev.name)
 			}
 		case evTableOp:
 			if !dbHeld {

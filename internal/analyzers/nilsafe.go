@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsPath is the package under the nil-receiver contract.
+const obsPath = "graphgen/internal/obs"
+
+// NilSafeAnalyzer enforces internal/obs's tracing-off contract (PR 9):
+// a nil *Trace or *Span is the disabled-tracing fast path, so every
+// exported pointer-receiver method on those types must begin with a
+// nil-receiver guard. Two guard shapes are accepted, matching the
+// package's idiom:
+//
+//	if s == nil { return ... }     // early return; extra conditions may
+//	                               // be OR'ed after the nil test
+//	if s != nil { ... }            // sole statement of the body; extra
+//	                               // conditions may be AND'ed after
+//
+// In both shapes the nil comparison must be the leftmost operand —
+// "s.ended || s == nil" dereferences before it guards. Methods with an
+// unnamed (or blank) receiver cannot dereference it and are trivially
+// safe; unexported methods are the guarded methods' internals and are
+// exempt.
+var NilSafeAnalyzer = &Analyzer{
+	Name: "nilsafe",
+	Doc:  "internal/obs: exported *Trace/*Span methods begin with a nil-receiver guard",
+	Run:  runNilSafe,
+}
+
+func runNilSafe(pass *Pass) error {
+	if pass.Pkg.Path() != obsPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || fd.Recv == nil {
+				continue
+			}
+			recvType, ok := tracedReceiver(pass, fd)
+			if !ok {
+				continue
+			}
+			recvName := ""
+			if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recvName = fd.Recv.List[0].Names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				continue // an unnamed receiver can never be dereferenced
+			}
+			if len(fd.Body.List) == 0 || nilGuarded(fd.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*%s).%s must begin with a nil-receiver guard: a nil *Trace/*Span is the tracing-off fast path",
+				recvType, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// tracedReceiver reports whether fd's receiver is a pointer to this
+// package's Trace or Span type, returning the type name.
+func tracedReceiver(pass *Pass, fd *ast.FuncDecl) (string, bool) {
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return "", false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	t := types.Unalias(sig.Recv().Type())
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	n, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok || n.Obj().Pkg() != pass.Pkg {
+		return "", false
+	}
+	name := n.Obj().Name()
+	if name != "Trace" && name != "Span" {
+		return "", false
+	}
+	return name, true
+}
+
+// nilGuarded reports whether the body starts with an accepted guard.
+func nilGuarded(body *ast.BlockStmt, recv string) bool {
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	// Early-return shape: leftmost `recv == nil`, then-branch returns.
+	if leftmostNilCmp(ifs.Cond, recv, token.EQL) && branchReturns(ifs.Body) {
+		return true
+	}
+	// Positive shape: leftmost `recv != nil`, and the if is the entire
+	// body (nothing after it can dereference an unguarded receiver).
+	if leftmostNilCmp(ifs.Cond, recv, token.NEQ) && len(body.List) == 1 {
+		return true
+	}
+	return false
+}
+
+// leftmostNilCmp reports whether the leftmost operand of cond's
+// top-level &&/|| chain is `recv <op> nil`.
+func leftmostNilCmp(cond ast.Expr, recv string, op token.Token) bool {
+	for {
+		b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if b.Op == token.LOR || b.Op == token.LAND {
+			cond = b.X
+			continue
+		}
+		if b.Op != op {
+			return false
+		}
+		x, ok := ast.Unparen(b.X).(*ast.Ident)
+		if !ok || x.Name != recv {
+			return false
+		}
+		y, ok := ast.Unparen(b.Y).(*ast.Ident)
+		return ok && y.Name == "nil"
+	}
+}
+
+// branchReturns reports whether a guard's then-branch ends the method:
+// its last statement is a return (a bare `return` body included).
+func branchReturns(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}

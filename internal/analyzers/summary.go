@@ -1,0 +1,917 @@
+package analyzers
+
+// The shared interprocedural layer behind guardedby and lockorder: guard
+// annotations parsed from struct-field comments, a per-package index of
+// function declarations, and per-function lock summaries — which locks a
+// function acquires (transitively), which it holds on exit or releases
+// for its caller, and which it requires held on entry — computed to
+// fixpoint over the package call graph so mutually recursive helpers
+// converge.
+//
+// Lock identity is textual and receiver-relative. At a call site or
+// access site a lock is the rendered path of its owner expression plus
+// the field name ("lv.mu", "s.sessMu"); in a summary it is the bare
+// field name, valid only for paths rooted at the receiver. Translating
+// between the two at call boundaries ("x.flush()" + summary {mu} ->
+// "x.mu") is what makes the summaries composable without alias
+// analysis. The approximation is deliberate: two variables denoting the
+// same struct are different paths, and a lock reached through a
+// non-receiver base can never be summarized — those sites are checked
+// (and reported) directly instead.
+//
+// Control flow is simulated per statement, branch-aware: if/else arms
+// merge by intersection (an arm that returns drops out), loop bodies run
+// once and merge with the pre-state, and a deferred unlock holds its
+// lock to function exit without counting as held-at-exit. Function
+// literals passed directly as call arguments (iterator callbacks,
+// sort.Slice comparators, worker-pool bodies) are simulated inline with
+// the held set at the call site — they run before the call returns, so
+// the enclosing critical section still covers them. Every other literal
+// (go, defer, assigned, returned, stored) escapes the critical section
+// and is simulated with nothing held.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Annotation grammar (struct-field and func-doc comments):
+//
+//	// graphlint:guardedby <field>       field is read/written only while
+//	//                                   the sibling mutex <field> is held
+//	// graphlint:guardedby external:<n>  field is serialized by a lock that
+//	//                                   lives outside this package (named
+//	//                                   <n> for documentation); enforced as
+//	//                                   "mutated only from methods of the
+//	//                                   declaring package"
+//	// graphlint:requires <field>[,...]  on a func: callers must hold the
+//	//                                   receiver's mutex field(s); the body
+//	//                                   is checked assuming they are held
+const (
+	guardedByMarker = "graphlint:guardedby"
+	requiresMarker  = "graphlint:requires"
+	externalPrefix  = "external:"
+)
+
+// lockMode orders how strongly a lock is held: a write hold (Lock)
+// satisfies a read need, a read hold (RLock) does not satisfy a write
+// need.
+type lockMode int
+
+const (
+	modeNone lockMode = iota
+	modeRead
+	modeWrite
+)
+
+func (m lockMode) String() string {
+	switch m {
+	case modeRead:
+		return "read"
+	case modeWrite:
+		return "write"
+	}
+	return "none"
+}
+
+// guardInfo is one parsed graphlint:guardedby annotation.
+type guardInfo struct {
+	field    string // annotated field name, for diagnostics
+	lock     string // sibling mutex field name ("" for external guards)
+	external string // external serialization domain ("" for sibling guards)
+}
+
+// funcInfo is one function or method declaration of the package under
+// analysis.
+type funcInfo struct {
+	obj       *types.Func
+	decl      *ast.FuncDecl
+	recv      string              // receiver identifier ("" for functions and unnamed receivers)
+	annotated map[string]lockMode // explicit graphlint:requires entries
+	sum       *lockSummary
+}
+
+// lockSummary is the interprocedural abstract of one function, keyed by
+// receiver-relative lock field names.
+type lockSummary struct {
+	// acquires: locks this function, or anything it transitively calls,
+	// may take at some point (not necessarily still held on return).
+	acquires map[string]lockMode
+	// exitHeld: net acquisitions — locks held on every return that were
+	// not held on entry (the acquire()-style helper shape).
+	exitHeld map[string]lockMode
+	// exitReleased: net releases — locks the function unlocks on behalf
+	// of its caller.
+	exitReleased map[string]bool
+	// requires: locks that must be held on entry: explicit annotations
+	// plus requirements inferred from guarded accesses and callee
+	// requirements reached through the receiver.
+	requires map[string]lockMode
+}
+
+func newSummary() *lockSummary {
+	return &lockSummary{
+		acquires:     map[string]lockMode{},
+		exitHeld:     map[string]lockMode{},
+		exitReleased: map[string]bool{},
+		requires:     map[string]lockMode{},
+	}
+}
+
+func modesEqual(a, b map[string]lockMode) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func summaryEqual(a, b *lockSummary) bool {
+	if len(a.exitReleased) != len(b.exitReleased) {
+		return false
+	}
+	for k := range a.exitReleased {
+		if !b.exitReleased[k] {
+			return false
+		}
+	}
+	return modesEqual(a.acquires, b.acquires) &&
+		modesEqual(a.exitHeld, b.exitHeld) &&
+		modesEqual(a.requires, b.requires)
+}
+
+func copyModes(m map[string]lockMode) map[string]lockMode {
+	out := make(map[string]lockMode, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pkgIndex is the shared interprocedural view of one package.
+type pkgIndex struct {
+	fset   *token.FileSet
+	info   *types.Info
+	pkg    *types.Package
+	guards map[*types.Var]guardInfo
+	funcs  map[*types.Func]*funcInfo
+	order  []*funcInfo // declaration order, for deterministic fixpoint sweeps
+}
+
+// buildIndex collects guard and requires annotations and the function
+// declarations of the package. Malformed annotations are reported through
+// report when it is non-nil (guardedby owns those diagnostics; lockorder
+// passes nil to avoid duplicates).
+func buildIndex(pass *Pass, report func(pos token.Pos, format string, args ...any)) *pkgIndex {
+	idx := &pkgIndex{
+		fset:   pass.Fset,
+		info:   pass.Info,
+		pkg:    pass.Pkg,
+		guards: map[*types.Var]guardInfo{},
+		funcs:  map[*types.Func]*funcInfo{},
+	}
+	if report == nil {
+		report = func(token.Pos, string, ...any) {}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if ok {
+				idx.collectGuards(st, report)
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &funcInfo{obj: obj, decl: fd, annotated: map[string]lockMode{}}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				if name := fd.Recv.List[0].Names[0].Name; name != "_" {
+					fi.recv = name
+				}
+			}
+			idx.collectRequires(fi, report)
+			idx.funcs[obj] = fi
+			idx.order = append(idx.order, fi)
+		}
+	}
+	return idx
+}
+
+// directiveArg extracts "// graphlint:<marker> <arg>" from a comment
+// group.
+func directiveArg(cg *ast.CommentGroup, marker string) (string, token.Pos, bool) {
+	if cg == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, marker); ok {
+			return strings.TrimSpace(rest), c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// collectGuards parses the guardedby annotations of one struct type and
+// validates sibling locks.
+func (idx *pkgIndex) collectGuards(st *ast.StructType, report func(pos token.Pos, format string, args ...any)) {
+	for _, field := range st.Fields.List {
+		arg, pos, ok := directiveArg(field.Doc, guardedByMarker)
+		if !ok {
+			arg, pos, ok = directiveArg(field.Comment, guardedByMarker)
+		}
+		if !ok {
+			continue
+		}
+		if len(field.Names) == 0 {
+			report(pos, "graphlint:guardedby cannot annotate an embedded field")
+			continue
+		}
+		g := guardInfo{field: field.Names[0].Name}
+		if ext, isExt := strings.CutPrefix(arg, externalPrefix); isExt {
+			if ext == "" {
+				report(pos, "graphlint:guardedby external: needs a lock name")
+				continue
+			}
+			g.external = ext
+		} else {
+			if arg == "" {
+				report(pos, "graphlint:guardedby needs a sibling mutex field name")
+				continue
+			}
+			if !siblingMutex(idx.info, st, arg) {
+				report(pos, "graphlint:guardedby %s: %q is not a sibling sync.Mutex/RWMutex field", g.field, arg)
+				continue
+			}
+			g.lock = arg
+		}
+		for _, name := range field.Names {
+			if v, _ := idx.info.Defs[name].(*types.Var); v != nil {
+				gi := g
+				gi.field = name.Name
+				idx.guards[v] = gi
+			}
+		}
+	}
+}
+
+// siblingMutex reports whether st declares a field named name of type
+// sync.Mutex or sync.RWMutex (value or pointer).
+func siblingMutex(info *types.Info, st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name != name {
+				continue
+			}
+			obj := info.Defs[n]
+			if obj == nil {
+				return false
+			}
+			return typeIs(obj.Type(), "sync", "Mutex") || typeIs(obj.Type(), "sync", "RWMutex")
+		}
+	}
+	return false
+}
+
+// collectRequires parses a graphlint:requires annotation on a function
+// declaration. Required locks must be mutex fields of the receiver's
+// struct; a requirement is always a write hold.
+func (idx *pkgIndex) collectRequires(fi *funcInfo, report func(pos token.Pos, format string, args ...any)) {
+	arg, pos, ok := directiveArg(fi.decl.Doc, requiresMarker)
+	if !ok {
+		return
+	}
+	if arg == "" {
+		report(pos, "graphlint:requires needs a comma-separated list of receiver mutex fields")
+		return
+	}
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !receiverMutexField(fi.obj, name) {
+			report(pos, "graphlint:requires %s: the receiver has no sync.Mutex/RWMutex field %q", fi.obj.Name(), name)
+			continue
+		}
+		fi.annotated[name] = modeWrite
+	}
+}
+
+// receiverMutexField reports whether fn's receiver struct has a mutex
+// field of the given name.
+func receiverMutexField(fn *types.Func, name string) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	if st == nil {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name {
+			return typeIs(f.Type(), "sync", "Mutex") || typeIs(f.Type(), "sync", "RWMutex")
+		}
+	}
+	return false
+}
+
+// computeSummaries runs the summary inference to fixpoint, in
+// declaration order per sweep. requires and acquires only grow, so the
+// iteration converges; the bound is a backstop.
+func (idx *pkgIndex) computeSummaries() {
+	for _, fi := range idx.order {
+		fi.sum = newSummary()
+		fi.sum.requires = copyModes(fi.annotated)
+	}
+	for range 20 {
+		changed := false
+		for _, fi := range idx.order {
+			sc := idx.newSim(fi, true, nil)
+			sc.inferred = copyModes(fi.sum.requires)
+			ns := sc.run()
+			if !summaryEqual(ns, fi.sum) {
+				fi.sum = ns
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// simCtx simulates one function body. In summary mode (infer=true) unmet
+// receiver-rooted needs become inferred entry requirements; in check
+// mode (reportf set) they are diagnostics.
+type simCtx struct {
+	idx      *pkgIndex
+	fi       *funcInfo
+	infer    bool
+	reportf  func(pos token.Pos, format string, args ...any)
+	escaped  bool // inside an escaping function literal: nothing may be assumed held
+	inferred map[string]lockMode
+	acquires map[string]lockMode
+	released map[string]bool
+	deferRel map[string]bool
+	exits    []map[string]lockMode
+	reported map[string]bool
+}
+
+type simState struct {
+	held map[string]lockMode
+	dead bool // all paths through this state returned or branched away
+}
+
+func (st *simState) clone() *simState {
+	held := make(map[string]lockMode, len(st.held))
+	for k, v := range st.held {
+		held[k] = v
+	}
+	return &simState{held: held, dead: st.dead}
+}
+
+// mergeInto folds other into st by intersection: a lock is held after a
+// join only if every live inbound path holds it, at the weakest mode.
+func (st *simState) mergeInto(other *simState) {
+	if other.dead {
+		return
+	}
+	if st.dead {
+		st.held, st.dead = other.held, false
+		return
+	}
+	for k, v := range st.held {
+		ov, ok := other.held[k]
+		if !ok {
+			delete(st.held, k)
+		} else if ov < v {
+			st.held[k] = ov
+		}
+	}
+}
+
+func (idx *pkgIndex) newSim(fi *funcInfo, infer bool, reportf func(pos token.Pos, format string, args ...any)) *simCtx {
+	return &simCtx{
+		idx:      idx,
+		fi:       fi,
+		infer:    infer,
+		reportf:  reportf,
+		inferred: map[string]lockMode{},
+		acquires: map[string]lockMode{},
+		released: map[string]bool{},
+		deferRel: map[string]bool{},
+		reported: map[string]bool{},
+	}
+}
+
+// run simulates the function from the given summary's entry assumptions
+// and returns the resulting summary.
+func (sc *simCtx) run() *lockSummary {
+	st := &simState{held: map[string]lockMode{}}
+	if !sc.infer && sc.fi.recv != "" {
+		// Check mode assumes the (converged) entry requirements hold.
+		for name, mode := range sc.fi.sum.requires {
+			st.held[sc.fi.recv+"."+name] = mode
+		}
+	}
+	sc.simBlock(st, sc.fi.decl.Body.List)
+	if !st.dead {
+		sc.exits = append(sc.exits, st.held)
+	}
+	return sc.finalize()
+}
+
+func (sc *simCtx) finalize() *lockSummary {
+	sum := newSummary()
+	sum.acquires = sc.acquires
+	sum.requires = sc.inferred
+	// Merge the exit states by intersection, then apply deferred
+	// releases: a deferred unlock cancels a net acquisition, and if the
+	// lock was never taken here it releases the caller's hold.
+	var merged map[string]lockMode
+	for i, e := range sc.exits {
+		if i == 0 {
+			merged = e
+			continue
+		}
+		for k, v := range merged {
+			ev, ok := e[k]
+			if !ok {
+				delete(merged, k)
+			} else if ev < v {
+				merged[k] = ev
+			}
+		}
+	}
+	for p := range sc.deferRel {
+		if _, ok := merged[p]; ok {
+			delete(merged, p)
+		} else if name, ok := recvRel(sc.fi.recv, p); ok {
+			sc.released[name] = true
+		}
+	}
+	for p, m := range merged {
+		if name, ok := recvRel(sc.fi.recv, p); ok {
+			sum.exitHeld[name] = m
+		}
+	}
+	sum.exitReleased = sc.released
+	return sum
+}
+
+// recvRel maps a lock path rooted at the receiver ("lv.mu") to its
+// receiver-relative name ("mu").
+func recvRel(recv, path string) (string, bool) {
+	if recv == "" {
+		return "", false
+	}
+	rest, ok := strings.CutPrefix(path, recv+".")
+	if !ok || rest == "" || strings.Contains(rest, ".") {
+		return "", false
+	}
+	return rest, true
+}
+
+func (sc *simCtx) simBlock(st *simState, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		sc.simStmt(st, s)
+	}
+}
+
+func (sc *simCtx) simStmt(st *simState, stmt ast.Stmt) {
+	if stmt == nil || st.dead {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		sc.simBlock(st, s.List)
+	case *ast.IfStmt:
+		sc.simStmt(st, s.Init)
+		sc.simExpr(st, s.Cond)
+		then := st.clone()
+		sc.simBlock(then, s.Body.List)
+		els := st.clone()
+		sc.simStmt(els, s.Else)
+		*st = *then
+		st.mergeInto(els)
+	case *ast.ForStmt:
+		sc.simStmt(st, s.Init)
+		sc.simExpr(st, s.Cond)
+		body := st.clone()
+		sc.simBlock(body, s.Body.List)
+		sc.simStmt(body, s.Post)
+		// Zero iterations is always possible; one body pass merged with
+		// the pre-state is the (single-pass) loop approximation.
+		if s.Cond != nil {
+			st.mergeInto(body)
+		} else if !body.dead {
+			// `for {` only exits via break/return inside the body; keep
+			// the pre-state (break paths were pruned conservatively).
+			_ = body
+		}
+	case *ast.RangeStmt:
+		sc.simExpr(st, s.X)
+		body := st.clone()
+		sc.simBlock(body, s.Body.List)
+		st.mergeInto(body)
+	case *ast.SwitchStmt:
+		sc.simStmt(st, s.Init)
+		sc.simExpr(st, s.Tag)
+		sc.simClauses(st, s.Body.List, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		sc.simStmt(st, s.Init)
+		sc.simStmt(st, s.Assign)
+		sc.simClauses(st, s.Body.List, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		// Exactly one clause runs (a default clause is itself a clause).
+		sc.simClauses(st, s.Body.List, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			sc.simExpr(st, r)
+		}
+		if !sc.escaped {
+			sc.exits = append(sc.exits, st.clone().held)
+		}
+		st.dead = true
+	case *ast.BranchStmt:
+		// break/continue/goto: prune the path; joins fall back to the
+		// conservative pre-state kept by the enclosing construct.
+		st.dead = true
+	case *ast.DeferStmt:
+		sc.simDefer(st, s.Call)
+	case *ast.GoStmt:
+		sc.simAsyncCall(st, s.Call)
+	case *ast.LabeledStmt:
+		sc.simStmt(st, s.Stmt)
+	case *ast.EmptyStmt:
+	default:
+		// Simple statements: assignments, expressions, sends, inc/dec,
+		// declarations — position-ordered event extraction.
+		sc.simExpr(st, stmt)
+	}
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// simClauses simulates switch/select clause bodies independently from
+// the pre-state and joins the outcomes; without a default clause the
+// pre-state itself stays a possible outcome.
+func (sc *simCtx) simClauses(st *simState, clauses []ast.Stmt, exhaustive bool) {
+	pre := st.clone()
+	var outcome *simState
+	for _, c := range clauses {
+		branch := pre.clone()
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				sc.simExpr(branch, e)
+			}
+			sc.simBlock(branch, cl.Body)
+		case *ast.CommClause:
+			sc.simStmt(branch, cl.Comm)
+			sc.simBlock(branch, cl.Body)
+		}
+		if outcome == nil {
+			outcome = branch
+		} else {
+			outcome.mergeInto(branch)
+		}
+	}
+	if outcome == nil {
+		return
+	}
+	if !exhaustive {
+		outcome.mergeInto(pre)
+	}
+	*st = *outcome
+}
+
+// simDefer handles a defer: a deferred direct unlock holds its lock to
+// function exit (and is excluded from exitHeld); a deferred function
+// literal escapes the critical section; anything else only evaluates
+// its arguments now.
+func (sc *simCtx) simDefer(st *simState, call *ast.CallExpr) {
+	if path, _, method, ok := mutexOp(sc.idx.info, call); ok {
+		if method == "Unlock" || method == "RUnlock" {
+			sc.deferRel[path] = true
+		}
+		return
+	}
+	sc.simAsyncCall(st, call)
+}
+
+// simAsyncCall evaluates a go/defer call's operands now but applies no
+// callee effects: the call body runs outside the current position.
+func (sc *simCtx) simAsyncCall(st *simState, call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		sc.simEscapedClosure(lit)
+	}
+	for _, a := range call.Args {
+		sc.simExpr(st, a)
+	}
+}
+
+// simInlineClosure simulates a function literal passed directly as a
+// call argument: it runs before the call returns, under whatever the
+// caller holds at the call site.
+func (sc *simCtx) simInlineClosure(st *simState, lit *ast.FuncLit) {
+	saveExits, saveDefer := sc.exits, sc.deferRel
+	sc.exits, sc.deferRel = nil, map[string]bool{}
+	inner := st.clone()
+	inner.dead = false
+	sc.simBlock(inner, lit.Body.List)
+	sc.exits, sc.deferRel = saveExits, saveDefer
+}
+
+// simEscapedClosure simulates a literal that outlives the statement
+// (go, defer, assigned, returned, stored): nothing is held on entry and
+// no requirement can be inferred for it.
+func (sc *simCtx) simEscapedClosure(lit *ast.FuncLit) {
+	if sc.infer {
+		return // escaping bodies contribute nothing to the summary
+	}
+	saveExits, saveDefer, saveEsc := sc.exits, sc.deferRel, sc.escaped
+	sc.exits, sc.deferRel, sc.escaped = nil, map[string]bool{}, true
+	sc.simBlock(&simState{held: map[string]lockMode{}}, lit.Body.List)
+	sc.exits, sc.deferRel, sc.escaped = saveExits, saveDefer, saveEsc
+}
+
+// simExpr extracts and applies the events of one simple statement or
+// expression in source order: mutex operations, guarded-field accesses,
+// calls to summarized functions, and nested function literals.
+func (sc *simCtx) simExpr(st *simState, node ast.Node) {
+	if node == nil || st.dead {
+		return
+	}
+	writes := map[ast.Expr]bool{}
+	inline := map[*ast.FuncLit]bool{}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if inline[x] {
+				sc.simInlineClosure(st, x)
+			} else {
+				sc.simEscapedClosure(x)
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				markWriteSpine(writes, l)
+			}
+		case *ast.IncDecStmt:
+			markWriteSpine(writes, x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				// Taking the address lets the value escape its guard;
+				// require the strongest hold at the site.
+				markWriteSpine(writes, x.X)
+			}
+		case *ast.CallExpr:
+			if path, name, method, ok := mutexOp(sc.idx.info, x); ok {
+				sc.applyMutexOp(st, path, name, method)
+				return true
+			}
+			if isBuiltinDelete(sc.idx.info, x) && len(x.Args) > 0 {
+				markWriteSpine(writes, x.Args[0])
+			}
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				inline[lit] = true
+			}
+			for _, a := range x.Args {
+				if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+					inline[lit] = true
+				}
+			}
+			sc.applyCall(st, x)
+		case *ast.SelectorExpr:
+			sc.checkAccess(st, x, writes[x])
+		}
+		return true
+	})
+}
+
+// markWriteSpine marks every selector on the access path of a write
+// target: `s.sessions[k] = v`, `lv.stats.Rebuilds++`, and `delete(m.routes, r)`
+// all mutate the state behind the annotated field on their spine.
+func markWriteSpine(writes map[ast.Expr]bool, e ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			writes[x] = true
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func isBuiltinDelete(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "delete"
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex method on a lock
+// path, returning the rendered owner path ("lv.mu"), the lock's field
+// name, and the method.
+func mutexOp(info *types.Info, call *ast.CallExpr) (path, name, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !isSyncLockMethod(info, sel) {
+		return "", "", "", false
+	}
+	base := ast.Unparen(sel.X)
+	path = types.ExprString(base)
+	switch b := base.(type) {
+	case *ast.SelectorExpr:
+		name = b.Sel.Name
+	case *ast.Ident:
+		name = b.Name
+	default:
+		name = path
+	}
+	return path, name, sel.Sel.Name, true
+}
+
+func (sc *simCtx) applyMutexOp(st *simState, path, name, method string) {
+	switch method {
+	case "Lock", "TryLock":
+		st.held[path] = modeWrite
+		if sc.acquires[name] < modeWrite {
+			sc.acquires[name] = modeWrite
+		}
+	case "RLock", "TryRLock":
+		if st.held[path] < modeRead {
+			st.held[path] = modeRead
+		}
+		if sc.acquires[name] < modeRead {
+			sc.acquires[name] = modeRead
+		}
+	case "Unlock", "RUnlock":
+		if _, held := st.held[path]; held {
+			delete(st.held, path)
+		} else if rel, ok := recvRel(sc.fi.recv, path); ok && !sc.escaped {
+			// Releasing a lock this function never took: it unlocks on
+			// behalf of the caller.
+			sc.released[rel] = true
+		}
+	}
+}
+
+// applyCall checks a callee's entry requirements against the held set
+// and applies its net effects, translating receiver-relative summary
+// names through the call's receiver expression.
+func (sc *simCtx) applyCall(st *simState, call *ast.CallExpr) {
+	f := calleeFunc(sc.idx.info, call)
+	if f == nil {
+		return
+	}
+	fi := sc.idx.funcs[f]
+	if fi == nil || fi.sum == nil {
+		return
+	}
+	basePath := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		basePath = types.ExprString(ast.Unparen(sel.X))
+	}
+	for name, mode := range fi.sum.acquires {
+		if sc.acquires[name] < mode {
+			sc.acquires[name] = mode
+		}
+	}
+	if basePath == "" {
+		return // requirements and net effects are receiver-relative
+	}
+	for _, name := range sortedNames(fi.sum.requires) {
+		mode := fi.sum.requires[name]
+		if st.held[basePath+"."+name] < mode {
+			sc.unmet(call.Pos(), basePath, name, mode,
+				fmt.Sprintf("call to %s, which needs %s.%s %s-held on entry", f.Name(), basePath, name, mode))
+		}
+	}
+	for name := range fi.sum.exitReleased {
+		delete(st.held, basePath+"."+name)
+	}
+	for name, mode := range fi.sum.exitHeld {
+		if st.held[basePath+"."+name] < mode {
+			st.held[basePath+"."+name] = mode
+		}
+	}
+}
+
+// checkAccess handles one selector that may resolve to a guarded field.
+func (sc *simCtx) checkAccess(st *simState, sel *ast.SelectorExpr, write bool) {
+	v, _ := sc.idx.info.Uses[sel.Sel].(*types.Var)
+	if v == nil {
+		return
+	}
+	g, ok := sc.idx.guards[v]
+	if !ok || g.external != "" {
+		return // external guards are enforced by the write-site rule
+	}
+	basePath := types.ExprString(ast.Unparen(sel.X))
+	need := modeRead
+	verb := "read"
+	if write {
+		need = modeWrite
+		verb = "written"
+	}
+	have := st.held[basePath+"."+g.lock]
+	if have >= need {
+		return
+	}
+	if have == modeRead && need == modeWrite {
+		sc.report(sel.Pos(), "%s.%s is %s while %s.%s is only read-held (RLock); writes need Lock",
+			basePath, g.field, verb, basePath, g.lock)
+		return
+	}
+	sc.unmet(sel.Pos(), basePath, g.lock, need,
+		fmt.Sprintf("%s.%s is %s without %s.%s held (graphlint:guardedby %s)",
+			basePath, g.field, verb, basePath, g.lock, g.lock))
+}
+
+// unmet resolves an unsatisfied lock need: inferred as an entry
+// requirement when the lock is rooted at the receiver (summary mode),
+// reported otherwise.
+func (sc *simCtx) unmet(pos token.Pos, basePath, name string, mode lockMode, what string) {
+	if !sc.escaped && basePath == sc.fi.recv && sc.fi.recv != "" {
+		if sc.infer {
+			if sc.inferred[name] < mode {
+				sc.inferred[name] = mode
+			}
+			return
+		}
+		// Check mode runs with the converged requirements held, so a
+		// receiver-rooted need only lands here if inference was cut off
+		// (escaping literal handled above); fall through and report.
+	}
+	if sc.escaped {
+		what += " — this function literal escapes the enclosing critical section (go/defer/stored); acquire the lock inside it"
+	}
+	sc.report(pos, "%s", what)
+}
+
+func (sc *simCtx) report(pos token.Pos, format string, args ...any) {
+	if sc.reportf == nil {
+		return
+	}
+	key := fmt.Sprintf("%d:%s", pos, fmt.Sprintf(format, args...))
+	if sc.reported[key] {
+		return
+	}
+	sc.reported[key] = true
+	sc.reportf(pos, format, args...)
+}

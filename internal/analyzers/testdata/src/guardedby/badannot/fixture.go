@@ -1,0 +1,27 @@
+// Malformed annotations: each is itself a finding (asserted directly by
+// TestGuardedByBadAnnotations — want comments cannot share a line with
+// the directive they describe without polluting its argument).
+package fixture
+
+import "sync"
+
+type bad struct {
+	mu sync.Mutex
+
+	// graphlint:guardedby missing
+	gone int
+
+	// graphlint:guardedby
+	noarg int
+
+	// graphlint:guardedby external:
+	noname int
+
+	// graphlint:guardedby Mutex
+	sync.Mutex
+}
+
+// graphlint:requires nope
+func (b *bad) f() int {
+	return b.gone
+}

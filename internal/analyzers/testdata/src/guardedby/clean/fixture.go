@@ -1,0 +1,139 @@
+// Correct guarded-field discipline: the same shapes as the flagged
+// fixture — deferred unlocks, read holds for reads, inferred
+// requirements satisfied at every call site, acquire-style helpers,
+// inline callbacks, branchy early returns — with zero findings.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	// graphlint:guardedby mu
+	n int
+	m map[string]int // graphlint:guardedby mu
+	// bounds is unannotated and immutable after construction; reads need
+	// no lock.
+	bounds []int
+}
+
+func (c *counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m["total"] = c.n
+}
+
+// bump relies on its callers' lock; the requirement is inferred and
+// every call below satisfies it.
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < d; i++ {
+		c.bump()
+	}
+}
+
+// acquire takes the lock for its caller (the acquire-style helper); the
+// net acquisition travels through the summary to Sum's held set.
+func (c *counter) acquire() {
+	c.mu.RLock()
+}
+
+func (c *counter) Sum() int {
+	c.acquire()
+	defer c.mu.RUnlock()
+	total := 0
+	c.each(func(v int) {
+		total += v + c.n
+	})
+	return total
+}
+
+// each iterates under the caller's lock; the callback runs inline,
+// inside the same critical section.
+func (c *counter) each(f func(int)) {
+	for _, v := range c.m {
+		f(v)
+	}
+}
+
+// FlushLocked is exported with an explicit contract instead of an
+// inferred one.
+//
+// graphlint:requires mu
+func (c *counter) FlushLocked() {
+	c.n = 0
+}
+
+// First releases early on one branch; the merge keeps only what every
+// live path still holds.
+func (c *counter) First() int {
+	c.mu.RLock()
+	if len(c.m) == 0 {
+		c.mu.RUnlock()
+		return -1
+	}
+	v := c.n
+	c.mu.RUnlock()
+	return v
+}
+
+func (c *counter) Pick(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	switch k {
+	case "n":
+		return c.n
+	default:
+		return c.m[k]
+	}
+}
+
+// evenSteps/oddSteps converge over the fixpoint; Steps satisfies the
+// requirement explicitly.
+func (c *counter) evenSteps(k int) {
+	if k > 0 {
+		c.n++
+		c.oddSteps(k - 1)
+	}
+}
+
+func (c *counter) oddSteps(k int) {
+	if k > 0 {
+		c.evenSteps(k - 1)
+	}
+}
+
+func (c *counter) Steps(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evenSteps(k)
+}
+
+func (c *counter) Bound(i int) int {
+	return c.bounds[i]
+}
+
+// table's rows are serialized externally: methods are the mutation
+// choke point, and reads are not restricted.
+type table struct {
+	rows []int // graphlint:guardedby external:dbMu
+}
+
+func (t *table) insert(v int) {
+	t.rows = append(t.rows, v)
+}
+
+func rowCount(t *table) int {
+	return len(t.rows)
+}

@@ -1,0 +1,110 @@
+// Guarded-field violations across the analyzer's shapes: direct
+// unlocked access, writes under a read hold, unguarded access one and
+// two method calls deep (the interprocedural summaries), escaping
+// closures, helper-released locks, and the external-guard choke point.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	// graphlint:guardedby mu
+	n int
+	m map[string]int // graphlint:guardedby mu
+}
+
+// readUnlocked accesses the field through a parameter with nothing held;
+// a non-receiver path cannot become an inferred requirement and is
+// reported at the site.
+func readUnlocked(c *counter) int {
+	return c.n // want `guardedby: c\.n is read without c\.mu held \(graphlint:guardedby mu\)`
+}
+
+func writeUnlocked(c *counter) {
+	c.n = 1 // want `guardedby: c\.n is written without c\.mu held \(graphlint:guardedby mu\)`
+}
+
+func dropKey(c *counter, k string) {
+	delete(c.m, k) // want `guardedby: c\.m is written without c\.mu held \(graphlint:guardedby mu\)`
+}
+
+// IncrReadLocked holds the lock — but in the wrong mode for a write.
+func (c *counter) IncrReadLocked() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want `guardedby: c\.n is written while c\.mu is only read-held \(RLock\); writes need Lock`
+}
+
+// bump relies on its caller's lock; the requirement is inferred, not a
+// diagnostic here.
+func (c *counter) bump() {
+	c.n++
+}
+
+// Bump inherits bump's requirement one call deep and exports it, but
+// cross-package callers can never see an inferred contract.
+func (c *counter) Bump() { // want `guardedby: exported Bump relies on callers holding mu; acquire it internally or annotate // graphlint:requires mu`
+	c.bump()
+}
+
+// stepA/stepB are mutually recursive: the requirement converges over the
+// summary fixpoint and surfaces two calls deep at the exported entry.
+func (c *counter) stepA(k int) {
+	if k <= 0 {
+		return
+	}
+	c.n++
+	c.stepB(k - 1)
+}
+
+func (c *counter) stepB(k int) {
+	c.stepA(k)
+}
+
+func (c *counter) Walk(k int) { // want `guardedby: exported Walk relies on callers holding mu; acquire it internally or annotate // graphlint:requires mu`
+	c.stepB(k)
+}
+
+// Reset is locked, but the goroutine body runs after the critical
+// section is gone.
+func (c *counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n = 0 // want `guardedby: c\.n is written without c\.mu held \(graphlint:guardedby mu\) — this function literal escapes the enclosing critical section \(go/defer/stored\); acquire the lock inside it`
+	}()
+}
+
+// release unlocks on the caller's behalf; refresh keeps using the field
+// after handing its hold away.
+func (c *counter) release() {
+	c.mu.Unlock()
+}
+
+func (c *counter) refresh() {
+	c.mu.Lock()
+	c.n++
+	c.release()
+	c.n = 2 // want `guardedby: c\.n is written without c\.mu held \(graphlint:guardedby mu\)`
+}
+
+// flushLocked's contract is explicit; the unlocked call is the finding.
+//
+// graphlint:requires mu
+func (c *counter) flushLocked() {
+	c.n = 0
+}
+
+func flushNow(c *counter) {
+	c.flushLocked() // want `guardedby: call to flushLocked, which needs c\.mu write-held on entry`
+}
+
+// table's rows are serialized by a lock outside this package; mutating
+// them from a free function bypasses the choke point.
+type table struct {
+	rows []int // graphlint:guardedby external:dbMu
+}
+
+func corrupt(t *table) {
+	t.rows = append(t.rows, 1) // want `guardedby: rows is serialized externally \(graphlint:guardedby external:dbMu\); mutate it only from methods of this package`
+}

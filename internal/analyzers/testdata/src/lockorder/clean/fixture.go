@@ -37,3 +37,30 @@ func (s *srv) sessionsOnly() {
 	s.sessMu.RLock()
 	defer s.sessMu.RUnlock()
 }
+
+// lockDB marks a dbMu acquirer; calling it outside any sessMu critical
+// section is the documented order.
+func (s *srv) lockDB() {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+}
+
+func (s *srv) orderedDeep() {
+	s.lockDB()
+	s.sessMu.Lock()
+	s.sessMu.Unlock()
+}
+
+// withDB assumes dbMu per its annotation, so its own table op is fine;
+// insertViaHelper supplies the lock at the call site.
+//
+// graphlint:requires dbMu
+func (s *srv) withDB(row []relstore.Value) error {
+	return s.tab.Insert(row...)
+}
+
+func (s *srv) insertViaHelper(row []relstore.Value) error {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	return s.withDB(row)
+}

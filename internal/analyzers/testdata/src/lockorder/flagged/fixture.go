@@ -56,3 +56,27 @@ func (s *srv) released(row []relstore.Value) error {
 	s.dbMu.Unlock()
 	return s.tab.Insert(row...) // want `lockorder: \(Table\)\.Insert outside a dbMu critical section`
 }
+
+// lockDBDeep acquires dbMu two calls down; the interprocedural
+// summaries make the inversion visible at any depth.
+func (s *srv) lockDBDeep() {
+	s.lockDB()
+}
+
+func (s *srv) indirectDeep() {
+	s.sessMu.RLock()
+	s.lockDBDeep() // want `lockorder: lockDBDeep acquires dbMu and must not be called while sessMu is held`
+	s.sessMu.RUnlock()
+}
+
+// withDB's contract is explicit: callers bring dbMu. The unlocked call
+// below is the finding; the table op inside withDB is not.
+//
+// graphlint:requires dbMu
+func (s *srv) withDB(row []relstore.Value) error {
+	return s.tab.Insert(row...)
+}
+
+func (s *srv) callsWithDBUnlocked(row []relstore.Value) error {
+	return s.withDB(row) // want `lockorder: withDB requires dbMu held on entry \(graphlint:requires\) and is called outside a dbMu critical section`
+}

@@ -1,0 +1,73 @@
+// Properly guarded (or exempt) *Trace/*Span methods: both accepted
+// guard shapes, value receivers, unnamed receivers, unexported
+// internals, and out-of-scope types.
+package fixture
+
+type Trace struct {
+	spans []*Span
+}
+
+type Span struct {
+	name  string
+	ended bool
+}
+
+// StartSpan uses the early-return shape.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Finish uses the early-return shape with a bare return.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	for _, s := range t.spans {
+		s.finish()
+	}
+}
+
+// End ORs extra conditions after the leftmost nil test.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+}
+
+// SetName uses the positive shape as the entire body.
+func (s *Span) SetName(n string) {
+	if s != nil && !s.ended {
+		s.name = n
+	}
+}
+
+// Name has a value receiver; a value is never nil.
+func (s Span) Name() string {
+	return s.name
+}
+
+// Kind cannot dereference an unnamed receiver.
+func (*Span) Kind() string {
+	return "span"
+}
+
+// Noop has nothing to guard.
+func (s *Span) Noop() {}
+
+// finish is unexported: it runs behind the exported guards.
+func (s *Span) finish() {
+	s.ended = true
+}
+
+// meter is not a traced type; the contract does not apply.
+type meter struct{ n int }
+
+func (m *meter) Inc() {
+	m.n++
+}

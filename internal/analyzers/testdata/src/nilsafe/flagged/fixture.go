@@ -1,0 +1,54 @@
+// Exported *Trace/*Span methods missing (or mis-shaping) the
+// nil-receiver guard, checked as if this fixture were
+// graphgen/internal/obs.
+package fixture
+
+type Trace struct {
+	spans []*Span
+}
+
+type Span struct {
+	name  string
+	ended bool
+}
+
+// Push has no guard at all.
+func (t *Trace) Push(name string) *Span { // want `nilsafe: exported method \(\*Trace\)\.Push must begin with a nil-receiver guard`
+	s := &Span{name: name}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// End guards too late: the first statement already dereferences.
+func (s *Span) End() { // want `nilsafe: exported method \(\*Span\)\.End must begin with a nil-receiver guard`
+	s.ended = true
+	if s == nil {
+		return
+	}
+}
+
+// SetName tests the wrong operand first: s.ended dereferences before
+// the nil test runs.
+func (s *Span) SetName(n string) { // want `nilsafe: exported method \(\*Span\)\.SetName must begin with a nil-receiver guard`
+	if s.ended || s == nil {
+		return
+	}
+	s.name = n
+}
+
+// AddNote has the positive shape but keeps going after the if, where
+// the receiver is unguarded again.
+func (s *Span) AddNote(n string) { // want `nilsafe: exported method \(\*Span\)\.AddNote must begin with a nil-receiver guard`
+	if s != nil {
+		s.name = n
+	}
+	s.ended = false
+}
+
+// Flag tests for nil but the branch falls through instead of returning.
+func (s *Span) Flag() { // want `nilsafe: exported method \(\*Span\)\.Flag must begin with a nil-receiver guard`
+	if s == nil {
+		s = &Span{}
+	}
+	s.ended = true
+}

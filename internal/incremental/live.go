@@ -100,14 +100,20 @@ type Live struct {
 
 	// mu guards g, rules, stats, version, and err; pendMu guards pending.
 	// Lock order: mu before pendMu.
-	mu      sync.RWMutex
-	g       *core.Graph
-	rules   []*ruleState
-	stats   Stats
+	mu sync.RWMutex
+	// graphlint:guardedby mu
+	g *core.Graph
+	// graphlint:guardedby mu
+	rules []*ruleState
+	// graphlint:guardedby mu
+	stats Stats
+	// graphlint:guardedby mu
 	version uint64
-	err     error // first unrecoverable rebuild error, surfaced by Flush/Err
+	// graphlint:guardedby mu
+	err error // first unrecoverable rebuild error, surfaced by Flush/Err
 
-	pendMu  sync.Mutex
+	pendMu sync.Mutex
+	// graphlint:guardedby pendMu
 	pending []countDelta
 
 	nodeTables map[*relstore.Table]bool
@@ -140,6 +146,7 @@ func New(db *relstore.DB, prog *datalog.Program, opts extract.Options) (*Live, e
 	if !opts.NoIndex {
 		extract.EnsureIndexes(db, append(append([]datalog.Rule(nil), prog.Nodes...), prog.Edges...))
 	}
+	//lint:ignore guardedby lv is not shared until New returns; the constructor builds without mu
 	if err := lv.build(); err != nil {
 		return nil, err
 	}
@@ -149,6 +156,8 @@ func New(db *relstore.DB, prog *datalog.Program, opts extract.Options) (*Live, e
 
 // build (re)constructs the graph, counts, and virtual-node maps from the
 // current database state. Callers hold mu (or are the constructor).
+//
+// graphlint:requires mu
 func (lv *Live) build() error {
 	g := core.New(core.CDUP)
 	g.SelfLoops = lv.opts.SelfLoops
@@ -334,6 +343,8 @@ func (lv *Live) Flush() error {
 // partial maps merged in chunk order, so the application order (and thus
 // virtual-node numbering) is deterministic — and each 0<->1 transition is
 // applied as edge surgery.
+//
+// graphlint:requires mu
 func (lv *Live) flushLocked() {
 	lv.pendMu.Lock()
 	pending := lv.pending

@@ -16,11 +16,16 @@ import (
 // fixed at construction — the serving tier wants stable, comparable
 // series, not adaptive ones.
 type Histogram struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// bounds is immutable after construction and deliberately
+	// unannotated: Observe bucket-searches it before taking mu.
 	bounds []float64
+	// graphlint:guardedby mu
 	counts []int64 // len(bounds)+1; last is the +Inf bucket
-	count  int64
-	sum    float64
+	// graphlint:guardedby mu
+	count int64
+	// graphlint:guardedby mu
+	sum float64
 }
 
 // ExpBuckets returns n exponential upper bounds: start, start*factor,

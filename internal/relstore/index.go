@@ -36,9 +36,11 @@ type indexEntry struct {
 // and live-graph rebuilds. Like tables, indexes are not internally
 // synchronized.
 type Index struct {
-	t       *Table
-	col     int
-	next    uint64
+	t   *Table
+	col int
+	// graphlint:guardedby external:dbMu
+	next uint64
+	// graphlint:guardedby external:dbMu
 	buckets map[string][]indexEntry
 }
 

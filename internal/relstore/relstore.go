@@ -140,20 +140,31 @@ type Change struct {
 	Row []Value
 }
 
-// Table is a named relation with a fixed schema and row storage.
+// Table is a named relation with a fixed schema and row storage. Tables
+// have no internal locking: every mutation is serialized by the owning
+// server's dbMu (see internal/server), which the external guard
+// annotations below record — graphlint enforces the mutation choke
+// point (methods of this package only), lockorder enforces the holding.
 type Table struct {
 	Name string
 	Cols []Column
+	// graphlint:guardedby external:dbMu
 	Rows [][]Value
 
+	// colIdx is immutable after NewTable (a free function — hence no
+	// external guard: construction precedes sharing).
 	colIdx map[string]int
 	// stats
+	// graphlint:guardedby external:dbMu
 	statsDirty bool
-	nDistinct  []int
+	// graphlint:guardedby external:dbMu
+	nDistinct []int
 	// secondary hash indexes by column position (index.go), maintained
 	// in notify before change-log subscribers run.
+	// graphlint:guardedby external:dbMu
 	indexes map[int]*Index
 	// change log subscribers; nil entries are cancelled slots.
+	// graphlint:guardedby external:dbMu
 	subs []func(Change)
 }
 

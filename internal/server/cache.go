@@ -58,10 +58,14 @@ type resultCache struct {
 	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int64
-	bytes      int64
-	ll         *list.List
-	items      map[cacheKey]*list.Element
+	// graphlint:guardedby mu
+	bytes int64
+	// graphlint:guardedby mu
+	ll *list.List
+	// graphlint:guardedby mu
+	items map[cacheKey]*list.Element
 
+	// graphlint:guardedby mu
 	hits, misses, evictions int64
 }
 

@@ -70,8 +70,13 @@ type EvalStats struct {
 // the program-evaluation counters. It is the /metrics backing store; the
 // cache keeps its own counters.
 type metrics struct {
-	mu     sync.Mutex
-	start  time.Time
+	mu    sync.Mutex
+	start time.Time
+	// routes maps route label to its entry. The map is guarded; the
+	// entries behind it are mutated via aliases (re := m.routes[k];
+	// re.count++), which field-granular guard tracking cannot follow —
+	// every such aliasing site sits inside a mu critical section.
+	// graphlint:guardedby mu
 	routes map[string]*routeEntry
 
 	evalPrograms   atomic.Int64

@@ -158,7 +158,8 @@ type Server struct {
 	// tables and run outside it.
 	dbMu sync.Mutex
 
-	sessMu      sync.RWMutex
+	sessMu sync.RWMutex
+	// graphlint:guardedby sessMu
 	sessions    map[string]*session
 	maxSessions int
 	nextID      atomic.Uint64

@@ -21,7 +21,7 @@ echo "== go vet"
 go vet "$@"
 
 echo "== graphlint"
-go run ./cmd/graphlint "$@"
+go run ./cmd/graphlint -counts "$@"
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown))"
